@@ -1,0 +1,58 @@
+// wdmbench regenerates the paper-reproduction experiment tables (F1, E1–E19
+// of DESIGN.md). Run without flags for the full suite at full scale, or
+// select one experiment:
+//
+//	wdmbench -exp E4            # one experiment
+//	wdmbench -quick             # reduced scale (seconds instead of minutes)
+//	wdmbench -seeds 50          # override repetition count
+//	wdmbench -list              # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	quick := flag.Bool("quick", false, "reduced instance sizes and seed counts")
+	seeds := flag.Int("seeds", 0, "override the number of random repetitions")
+	list := flag.Bool("list", false, "list experiments and exit")
+	format := flag.String("format", "text", "output format: text, markdown, csv")
+	flag.Parse()
+
+	render := func(tb *bench.Table) string {
+		switch *format {
+		case "markdown":
+			return tb.Markdown()
+		case "csv":
+			return tb.CSV()
+		default:
+			return tb.String()
+		}
+	}
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick, Seeds: *seeds}
+	if *exp != "" {
+		tb, err := bench.Run(*exp, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(render(tb))
+		return
+	}
+	for _, tb := range bench.All(opts) {
+		fmt.Println(render(tb))
+	}
+}

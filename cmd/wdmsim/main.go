@@ -1,0 +1,133 @@
+// wdmsim runs a dynamic-traffic simulation (§2 traffic model) on a named
+// topology and prints blocking, cost, load, restoration and reconfiguration
+// metrics:
+//
+//	wdmsim -topo nsfnet -w 8 -erlang 30 -count 2000 -algo min-load-cost
+//	wdmsim -topo arpa2 -w 8 -erlang 40 -failures 0.5 -restore passive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	topoName := flag.String("topo", "nsfnet", "topology: nsfnet, arpa2, ring, waxman")
+	n := flag.Int("n", 16, "node count for parametric topologies")
+	w := flag.Int("w", 8, "wavelengths per fiber")
+	erlang := flag.Float64("erlang", 30, "offered load λ/µ (arrival rate with unit mean holding)")
+	count := flag.Int("count", 2000, "number of requests")
+	seed := flag.Int64("seed", 1, "workload + failure seed")
+	algo := flag.String("algo", "min-load-cost", "routing: min-cost, min-load, min-load-cost, two-step")
+	restore := flag.String("restore", "active", "restoration: active, passive")
+	failures := flag.Float64("failures", 0, "link-failure rate (0 = none)")
+	repair := flag.Float64("repair", 5, "link repair time")
+	reconfigTh := flag.Float64("reconfig", 0.6, "reconfiguration load threshold (0 = off)")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	traffic := flag.String("traffic", "uniform", "endpoint model: uniform, gravity")
+	holding := flag.String("holding", "exp", "holding-time distribution: exp, det, pareto")
+	flag.Parse()
+
+	net, err := cli.BuildTopology(*topoName, *n, *w, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	algorithm, err := cli.ParseAlgorithm(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	restoration, err := cli.ParseRestoration(*restore)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	simCfg := netsim.Config{
+		Algorithm:         algorithm,
+		Restoration:       restoration,
+		FailureRate:       *failures,
+		RepairTime:        *repair,
+		Seed:              *seed,
+		ReconfigThreshold: *reconfigTh,
+		ReconfigCooldown:  0.2,
+	}
+	if *tracePath != "" {
+		fh, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		simCfg.Trace = trace.NewJSONL(fh)
+	}
+	sim := netsim.New(net, simCfg)
+	var matrix *workload.Matrix
+	switch *traffic {
+	case "uniform":
+		matrix = workload.NewUniformMatrix(net.Nodes())
+	case "gravity":
+		// Synthetic populations: every third node is a 3× hub.
+		pops := make([]float64, net.Nodes())
+		for i := range pops {
+			pops[i] = 1
+			if i%3 == 0 {
+				pops[i] = 3
+			}
+		}
+		matrix = workload.NewGravityMatrix(pops)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown traffic model %q\n", *traffic)
+		os.Exit(1)
+	}
+	var dist workload.HoldingDist
+	switch *holding {
+	case "exp":
+		dist = workload.HoldingExponential
+	case "det":
+		dist = workload.HoldingDeterministic
+	case "pareto":
+		dist = workload.HoldingPareto
+	default:
+		fmt.Fprintf(os.Stderr, "unknown holding distribution %q\n", *holding)
+		os.Exit(1)
+	}
+	reqs := workload.MatrixPoisson(workload.MatrixConfig{
+		Matrix: matrix, ArrivalRate: *erlang, MeanHolding: 1,
+		Count: *count, Seed: *seed, Holding: dist,
+	})
+	m := sim.Run(reqs)
+
+	fmt.Printf("scenario        %s, n=%d, W=%d, %s routing, %s restoration\n",
+		*topoName, net.Nodes(), *w, algorithm, restoration)
+	fmt.Printf("offered         %d requests at %.4g Erlang over horizon %.4g\n",
+		m.Offered, *erlang, m.Horizon)
+	fmt.Printf("accepted        %d   blocked %d   (blocking %.2f%%)\n",
+		m.Accepted, m.Blocked, 100*m.BlockingProbability())
+	fmt.Printf("pair cost       %s\n", m.Cost.String())
+	fmt.Printf("primary hops    %s\n", m.Hops.String())
+	fmt.Printf("network load    mean %.4g   max %.4g\n", m.MeanLoad(), m.MaxNetworkLoad)
+	if *reconfigTh > 0 {
+		fmt.Printf("reconfigs       %d threshold crossings (ρ ≥ %.3g), %d connections rerouted\n",
+			m.Reconfigs, *reconfigTh, m.ReroutedConns)
+	}
+	if *failures > 0 {
+		fmt.Printf("failures        %d events, %d connections affected\n",
+			m.FailureEvents, m.AffectedConns)
+		fmt.Printf("restoration     %d recovered, %d lost, %d backups degraded\n",
+			m.Recovered, m.RecoveryFailed, m.BackupLost)
+		if m.Availability.N() > 0 {
+			fmt.Printf("availability    %.4f mean served fraction\n", m.Availability.Mean())
+		}
+		if m.RecoveryWork.N() > 0 {
+			fmt.Printf("recovery work   %s links signalled per recovery\n", m.RecoveryWork.String())
+		}
+	}
+}

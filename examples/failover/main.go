@@ -1,0 +1,57 @@
+// Failover: drive the dynamic simulator with link failures and compare the
+// paper's two restoration disciplines (§1) head to head on the same
+// workload — the *activate* approach (backup reserved in advance, instant
+// switchover) against the *passive* approach (restore after the failure if
+// resources permit).
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func run(restoration interface{ String() string }, mode int) *repro.SimMetrics {
+	net := repro.NSFNET(repro.TopoConfig{W: 8})
+	cfg := repro.SimConfig{
+		Algorithm:   repro.AlgoMinCost,
+		FailureRate: 1.0, // one link failure per time unit on average
+		RepairTime:  4,
+		Seed:        7,
+	}
+	if mode == 0 {
+		cfg.Restoration = repro.RestoreActive
+	} else {
+		cfg.Restoration = repro.RestorePassive
+	}
+	sim := repro.NewSim(net, cfg)
+	reqs := repro.Poisson(repro.PoissonConfig{
+		Nodes: 14, ArrivalRate: 35, MeanHolding: 1, Count: 3000, Seed: 11,
+	})
+	return sim.Run(reqs)
+}
+
+func main() {
+	fmt.Println("NSFNET, W=8, 35 Erlang, 3000 requests, failure rate 1.0, repair time 4")
+	fmt.Println()
+	for mode, name := range []string{"active (pre-reserved backup)", "passive (restore on demand)"} {
+		m := run(nil, mode)
+		fmt.Printf("%s\n", name)
+		fmt.Printf("  blocking            %.2f%%\n", 100*m.BlockingProbability())
+		fmt.Printf("  failure events      %d (affecting %d connections)\n",
+			m.FailureEvents, m.AffectedConns)
+		if m.AffectedConns > 0 {
+			fmt.Printf("  recovered           %d / %d (%.1f%%)\n",
+				m.Recovered, m.AffectedConns,
+				100*float64(m.Recovered)/float64(m.AffectedConns))
+		}
+		fmt.Printf("  recovery work       %.3g links signalled per recovery (0 = instant switchover)\n",
+			m.RecoveryWork.Mean())
+		fmt.Println()
+	}
+	fmt.Println("The activate approach trades higher blocking (it reserves twice the")
+	fmt.Println("capacity per request) for near-certain, signalling-free recovery —")
+	fmt.Println("exactly the §1 trade-off the paper's robust-routing problem optimises.")
+}

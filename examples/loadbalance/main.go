@@ -1,0 +1,46 @@
+// Loadbalance: show how the §4 load-aware routers spread traffic that the
+// §3 cost-only router would pile onto the cheapest corridor. A skewed
+// workload hammers one hot node pair; we compare the resulting maximum link
+// load ρ and blocking for all three routers.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// Skewed traffic: 60% of requests go 0 → 12 (plus uniform background).
+	reqs := repro.Poisson(repro.PoissonConfig{
+		Nodes: 14, ArrivalRate: 10, MeanHolding: 1, Count: 2000, Seed: 3,
+		HotPairs:    []repro.HotPair{{Src: 0, Dst: 12}},
+		HotFraction: 0.6,
+	})
+
+	fmt.Println("NSFNET, W=8, 10 Erlang, 60% of traffic on the hot pair 0→12")
+	fmt.Println()
+	fmt.Printf("%-15s %10s %10s %10s %12s\n", "router", "blocking", "mean ρ", "max ρ", "mean cost")
+	for _, c := range []struct {
+		name string
+		algo repro.SimConfig
+	}{
+		{"min-cost", repro.SimConfig{Algorithm: repro.AlgoMinCost}},
+		{"min-load", repro.SimConfig{Algorithm: repro.AlgoMinLoad}},
+		{"min-load-cost", repro.SimConfig{Algorithm: repro.AlgoMinLoadCost}},
+	} {
+		cfg := c.algo
+		cfg.Restoration = repro.RestoreActive
+		cfg.Seed = 5
+		sim := repro.NewSim(repro.NSFNET(repro.TopoConfig{W: 8}), cfg)
+		m := sim.Run(reqs)
+		fmt.Printf("%-15s %9.2f%% %10.3f %10.3f %12.3f\n",
+			c.name, 100*m.BlockingProbability(), m.MeanLoad(), m.MaxNetworkLoad, m.Cost.Mean())
+	}
+	fmt.Println()
+	fmt.Println("min-cost keeps routes cheap but saturates the hot corridor (high max ρ);")
+	fmt.Println("min-load spreads traffic at a cost premium; min-load-cost (§4.2) routes")
+	fmt.Println("cheap *within* the feasible load bound — the paper's combined objective.")
+}

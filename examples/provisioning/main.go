@@ -1,0 +1,77 @@
+// Provisioning: the offline counterpart of the paper's dynamic problem —
+// a known demand set is placed all at once (cited in §1 as the static
+// fault-tolerant design problem). The example compares demand orderings,
+// runs improvement passes, and finishes with a full reconfiguration to
+// squeeze the maximum link load down.
+//
+//	go run ./examples/provisioning
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func demandSet(seed int64, count int) []repro.Demand {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make([]repro.Demand, count)
+	for i := range ds {
+		s := rng.Intn(14)
+		d := rng.Intn(13)
+		if d >= s {
+			d++
+		}
+		ds[i] = repro.Demand{ID: i, Src: s, Dst: d}
+	}
+	return ds
+}
+
+func main() {
+	const count = 12
+	fmt.Printf("NSFNET, W=4, %d static demands (each gets primary + backup)\n\n", count)
+	fmt.Printf("%-16s %8s %12s %10s\n", "ordering", "placed", "total cost", "final ρ")
+
+	type runCfg struct {
+		name  string
+		order int
+	}
+	for _, c := range []runCfg{
+		{"input order", 0},
+		{"longest first", 1},
+		{"shortest first", 2},
+	} {
+		net := repro.NSFNET(repro.TopoConfig{W: 4})
+		cfg := repro.ProvisionConfig{Router: repro.ProvisionMinCost, ImprovePasses: 2}
+		switch c.order {
+		case 1:
+			cfg.Order = repro.OrderLongestFirst
+		case 2:
+			cfg.Order = repro.OrderShortestFirst
+		}
+		res := repro.Provision(net, demandSet(11, count), cfg)
+		fmt.Printf("%-16s %8d %12.1f %10.3f\n", c.name, res.Placed, res.TotalCost, res.NetworkLoad)
+	}
+
+	// Take the shortest-first layout and reconfigure it for load.
+	net := repro.NSFNET(repro.TopoConfig{W: 4})
+	res := repro.Provision(net, demandSet(11, count), repro.ProvisionConfig{
+		Router: repro.ProvisionMinCost, Order: repro.OrderShortestFirst,
+	})
+	var conns []*repro.LiveConnection
+	for _, p := range res.Placements {
+		if p.Route != nil {
+			conns = append(conns, &repro.LiveConnection{
+				ID: p.Demand.ID, Src: p.Demand.Src, Dst: p.Demand.Dst,
+				Primary: p.Route.Primary, Backup: p.Route.Backup,
+			})
+		}
+	}
+	rec := repro.Reoptimize(net, conns, 0, nil)
+	fmt.Printf("\nfull reconfiguration of the shortest-first layout:\n")
+	fmt.Printf("  ρ %.3f → %.3f, %d connections moved in %d rounds\n",
+		rec.LoadBefore, rec.LoadAfter, rec.Moves, rec.Rounds)
+	fmt.Println("\nThe dynamic algorithms of the paper avoid exactly this frozen-network")
+	fmt.Println("re-layout by keeping ρ low at routing time (§4).")
+}

@@ -1,0 +1,308 @@
+// Package auxgraph builds the edge-node auxiliary graphs of the paper. All
+// three variants share one skeleton — two edge-nodes per surviving physical
+// link (u_out^e at the tail, v_in^e at the head), a link edge between them,
+// conversion edges v_in^e → v_out^e' inside every node, and the special
+// terminals s′ and t″ — and differ only in the link filter and the weight
+// assignment:
+//
+//   - Cost (G′, §3.3.1): link edges weighted by the mean available-wavelength
+//     cost Σ_{λ∈Λ_avail(e)} w(e,λ)/|Λ_avail(e)|; conversion edges by the mean
+//     conversion cost Σ c_v(λa,λb)/K_v over allowed pairs.
+//   - Load (G_c, §4.1): only links with U(e)/N(e) < ϑ survive; link edges get
+//     the exponential congestion weight a^{(U(e)+1)/N(e)} − a^{U(e)/N(e)};
+//     conversion edges weigh 0.
+//   - LoadCost (G_rc, §4.2): the Load filter with cost weights — link edges
+//     get Σ_{λ∈Λ_avail(e)} w(e,λ)/N(e), conversion edges the mean conversion
+//     cost as in G′.
+package auxgraph
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/wdm"
+)
+
+// Kind selects the auxiliary-graph variant.
+type Kind int
+
+const (
+	// Cost is G′ of §3.3.1.
+	Cost Kind = iota
+	// Load is G_c of §4.1.
+	Load
+	// LoadCost is G_rc of §4.2.
+	LoadCost
+)
+
+// DefaultBase is the default exponent base a for the Load weights. Any a > 1
+// realises the paper's heuristic; larger bases penalise loaded links more
+// steeply.
+const DefaultBase = 10.0
+
+// Params configures Build.
+type Params struct {
+	Kind Kind
+	// Threshold is ϑ for Load/LoadCost: links with load ≥ ϑ are dropped.
+	// Ignored by Cost.
+	Threshold float64
+	// Base is the exponent base a (> 1) for Load weights; DefaultBase if 0.
+	Base float64
+	// Filter, when non-nil, replaces the threshold test: a link survives iff
+	// it has available wavelengths and Filter returns true. Used by exact
+	// load oracles that need a per-link capacity cap.
+	Filter func(linkID int) bool
+	// NodeDisjoint routes all conversion edges of each intermediate node
+	// through a unit-capacity hub gadget, so an edge-disjoint pair on the
+	// auxiliary graph maps to an internally node-disjoint pair on the
+	// physical network (protection against single node failures, §1). The
+	// gadget assumes pairwise conversion feasibility at each node — exact
+	// under the §3.3 full-conversion assumption; with restricted converters
+	// the refinement step re-checks feasibility.
+	NodeDisjoint bool
+}
+
+// Aux is a built auxiliary graph together with the bookkeeping needed to map
+// paths back to the physical network.
+type Aux struct {
+	G *graph.Graph
+	S int // s′
+	T int // t″
+
+	net     *wdm.Network
+	outNode []int // outNode[e] = aux vertex of u_out^e, −1 if e filtered out
+	inNode  []int // inNode[e] = aux vertex of v_in^e, −1 if e filtered out
+}
+
+// Build constructs the auxiliary graph for routing from s to t on the
+// residual network. It panics on invalid s/t and never fails otherwise: an
+// unroutable request simply yields a graph in which t″ is unreachable.
+func Build(net *wdm.Network, s, t int, p Params) *Aux {
+	if s < 0 || s >= net.Nodes() || t < 0 || t >= net.Nodes() {
+		panic("auxgraph: source/destination out of range")
+	}
+	base := p.Base
+	if base == 0 {
+		base = DefaultBase
+	}
+	if base <= 1 {
+		panic("auxgraph: exponent base must exceed 1")
+	}
+
+	m := net.Links()
+	keep := make([]bool, m)
+	for id := 0; id < m; id++ {
+		l := net.Link(id)
+		if l.Avail().Empty() {
+			continue
+		}
+		if p.Filter != nil {
+			if !p.Filter(id) {
+				continue
+			}
+		} else if (p.Kind == Load || p.Kind == LoadCost) && l.Load() >= p.Threshold {
+			continue
+		}
+		keep[id] = true
+	}
+
+	a := &Aux{
+		net:     net,
+		outNode: make([]int, m),
+		inNode:  make([]int, m),
+	}
+	// Vertex layout: for kept link e, out-node 2k, in-node 2k+1 (k = kept
+	// index); then s′ and t″.
+	nv := 0
+	for id := 0; id < m; id++ {
+		if keep[id] {
+			a.outNode[id] = nv
+			a.inNode[id] = nv + 1
+			nv += 2
+		} else {
+			a.outNode[id] = -1
+			a.inNode[id] = -1
+		}
+	}
+	a.S = nv
+	a.T = nv + 1
+	nv += 2
+	// Hub gadget vertices for the node-disjoint variant: one in/out pair
+	// per intermediate physical node.
+	var hubIn, hubOut []int
+	if p.NodeDisjoint {
+		hubIn = make([]int, net.Nodes())
+		hubOut = make([]int, net.Nodes())
+		for v := range hubIn {
+			if v == s || v == t {
+				hubIn[v], hubOut[v] = -1, -1
+				continue
+			}
+			hubIn[v] = nv
+			hubOut[v] = nv + 1
+			nv += 2
+		}
+	}
+	a.G = graph.New(nv)
+
+	// Link edges u_out^e → v_in^e.
+	for id := 0; id < m; id++ {
+		if !keep[id] {
+			continue
+		}
+		l := net.Link(id)
+		var w float64
+		switch p.Kind {
+		case Cost:
+			w = l.MeanAvailCost()
+		case Load:
+			n := float64(l.N())
+			u := float64(l.U())
+			w = math.Pow(base, (u+1)/n) - math.Pow(base, u/n)
+		case LoadCost:
+			w = l.MeanInstalledCost()
+		}
+		a.G.AddEdgeAux(a.outNode[id], a.inNode[id], w, id)
+	}
+
+	// Conversion edges inside each node: v_in^e → v_out^e' when some
+	// available wavelength on e can leave on e'. Under the node-disjoint
+	// variant the edges of intermediate nodes are funneled through a
+	// unit-capacity hub instead, so edge-disjointness on the auxiliary
+	// graph enforces node-disjointness on the physical network.
+	for v := 0; v < net.Nodes(); v++ {
+		conv := net.Converter(v)
+		if p.NodeDisjoint && v != s && v != t {
+			anyPair := false
+			sum, cnt := 0.0, 0
+			for _, ein := range net.In(v) {
+				if !keep[ein] {
+					continue
+				}
+				for _, eout := range net.Out(v) {
+					if !keep[eout] {
+						continue
+					}
+					if ok, mean := meanConvCost(net, conv, ein, eout); ok {
+						anyPair = true
+						sum += mean
+						cnt++
+					}
+				}
+			}
+			if !anyPair {
+				continue // node cannot be traversed at all
+			}
+			var w float64
+			if p.Kind == Cost || p.Kind == LoadCost {
+				w = sum / float64(cnt)
+			}
+			a.G.AddEdgeAux(hubIn[v], hubOut[v], w, -1)
+			for _, ein := range net.In(v) {
+				if keep[ein] {
+					a.G.AddEdgeAux(a.inNode[ein], hubIn[v], 0, -1)
+				}
+			}
+			for _, eout := range net.Out(v) {
+				if keep[eout] {
+					a.G.AddEdgeAux(hubOut[v], a.outNode[eout], 0, -1)
+				}
+			}
+			continue
+		}
+		for _, ein := range net.In(v) {
+			if !keep[ein] {
+				continue
+			}
+			for _, eout := range net.Out(v) {
+				if !keep[eout] {
+					continue
+				}
+				ok, mean := meanConvCost(net, conv, ein, eout)
+				if !ok {
+					continue
+				}
+				var w float64
+				if p.Kind == Cost || p.Kind == LoadCost {
+					w = mean
+				}
+				a.G.AddEdgeAux(a.inNode[ein], a.outNode[eout], w, -1)
+			}
+		}
+	}
+
+	// Terminals.
+	for _, e1 := range net.Out(s) {
+		if keep[e1] {
+			a.G.AddEdgeAux(a.S, a.outNode[e1], 0, -1)
+		}
+	}
+	for _, e2 := range net.In(t) {
+		if keep[e2] {
+			a.G.AddEdgeAux(a.inNode[e2], a.T, 0, -1)
+		}
+	}
+	return a
+}
+
+// meanConvCost returns whether any allowed conversion exists from the
+// available wavelengths of ein to those of eout at the shared node, and the
+// mean cost Σ c_v(λa, λb)/K_v over the K_v allowed ordered pairs (identity
+// pairs count, at cost 0, matching the Theorem 2 accounting).
+func meanConvCost(net *wdm.Network, conv wdm.Converter, ein, eout int) (bool, float64) {
+	in := net.Link(ein).Avail()
+	out := net.Link(eout).Avail()
+	k := 0
+	sum := 0.0
+	in.ForEach(func(la int) bool {
+		out.ForEach(func(lb int) bool {
+			if la == lb {
+				k++
+			} else if conv.Allowed(la, lb) {
+				k++
+				sum += conv.Cost(la, lb)
+			}
+			return true
+		})
+		return true
+	})
+	if k == 0 {
+		return false, 0
+	}
+	return true, sum / float64(k)
+}
+
+// Net returns the physical network the aux graph was built from.
+func (a *Aux) Net() *wdm.Network { return a.net }
+
+// OutNode returns the aux vertex of u_out^e for link e, or −1 if the link was
+// filtered out.
+func (a *Aux) OutNode(link int) int { return a.outNode[link] }
+
+// InNode returns the aux vertex of v_in^e for link e, or −1 if filtered.
+func (a *Aux) InNode(link int) int { return a.inNode[link] }
+
+// MapPath translates an aux edge-ID path into the ordered physical link IDs
+// it traverses (its link edges, in order).
+func (a *Aux) MapPath(path []int) []int {
+	var links []int
+	for _, id := range path {
+		if aux := a.G.Edge(id).Aux; aux >= 0 {
+			links = append(links, aux)
+		}
+	}
+	return links
+}
+
+// LinkSet translates an aux edge-ID path into the set of physical links it
+// uses — the induced subgraph G_i of §3.3 in which the Lemma 2 refinement
+// searches.
+func (a *Aux) LinkSet(path []int) map[int]bool {
+	set := make(map[int]bool)
+	for _, id := range path {
+		if aux := a.G.Edge(id).Aux; aux >= 0 {
+			set[aux] = true
+		}
+	}
+	return set
+}

@@ -1,0 +1,489 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/auxgraph"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/wdm"
+)
+
+// F1 rebuilds the Figure 1 construction on a small residual network and
+// tabulates the auxiliary graph inventory against the §3.3.1 formulas:
+// 2m edge-nodes (+ s′, t″), one link edge per residual link, conversion
+// edges bounded by Σ_v |E_in(v)|·|E_out(v)|.
+func F1(Options) *Table {
+	t := &Table{
+		ID:      "F1",
+		Title:   "Auxiliary-graph construction inventory (Figure 1)",
+		Columns: []string{"graph", "quantity", "formula", "predicted", "built"},
+		Notes:   "reproduces the residual→auxiliary construction of Fig. 1 on a 4-node example and on NSFNET",
+	}
+	cases := []struct {
+		name string
+		net  *wdm.Network
+		s, d int
+	}{
+		{"fig1-4node", fig1Net(), 0, 2},
+		{"nsfnet-14", topo.NSFNET(topo.Config{W: 4}), 0, 13},
+	}
+	for _, c := range cases {
+		a := auxgraph.Build(c.net, c.s, c.d, auxgraph.Params{Kind: auxgraph.Cost})
+		m := c.net.Links()
+		convBound := 0
+		for v := 0; v < c.net.Nodes(); v++ {
+			convBound += len(c.net.In(v)) * len(c.net.Out(v))
+		}
+		linkEdges := 0
+		for id := 0; id < a.G.M(); id++ {
+			if a.G.Edge(id).Aux >= 0 {
+				linkEdges++
+			}
+		}
+		t.AddRow(c.name, "edge-nodes", "2m", fmt.Sprint(2*m), fmt.Sprint(a.G.N()-2))
+		t.AddRow(c.name, "link edges", "m", fmt.Sprint(m), fmt.Sprint(linkEdges))
+		t.AddRow(c.name, "conv edges", "≤ Σ|Ein||Eout|", fmt.Sprint(convBound),
+			fmt.Sprint(a.G.M()-linkEdges-a.G.OutDegree(a.S)-a.G.InDegree(a.T)))
+		t.AddRow(c.name, "s' fan-out", "|Eout(s)|", fmt.Sprint(len(c.net.Out(c.s))),
+			fmt.Sprint(a.G.OutDegree(a.S)))
+		t.AddRow(c.name, "t'' fan-in", "|Ein(t)|", fmt.Sprint(len(c.net.In(c.d))),
+			fmt.Sprint(a.G.InDegree(a.T)))
+	}
+	return t
+}
+
+func fig1Net() *wdm.Network {
+	g := wdm.NewNetwork(4, 2)
+	g.AddUniformPair(0, 1, 1)
+	g.AddUniformPair(1, 2, 1)
+	g.AddUniformPair(0, 3, 1)
+	g.AddUniformPair(3, 2, 1)
+	g.AddUniformPair(1, 3, 1)
+	return g
+}
+
+// randomInstance builds a random biconnected residual WDM network under the
+// Theorem 2 assumptions (uniform per-link wavelength cost, full conversion
+// with cost ≤ the cheapest link).
+func randomInstance(rng *rand.Rand, n, w int, preloadP float64) *wdm.Network {
+	g := wdm.NewNetwork(n, w)
+	minCost := math.Inf(1)
+	add := func(u, v int) {
+		c := 1 + rng.Float64()*4
+		if c < minCost {
+			minCost = c
+		}
+		g.AddUniformLink(u, v, c)
+	}
+	for v := 0; v < n; v++ {
+		add(v, (v+1)%n)
+		add((v+1)%n, v)
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			add(u, v)
+		}
+	}
+	g.SetAllConverters(wdm.NewFullConverter(w, rng.Float64()*minCost))
+	if preloadP > 0 {
+		for id := 0; id < g.Links(); id++ {
+			for lam := 0; lam < w; lam++ {
+				if rng.Float64() < preloadP {
+					g.Use(id, lam)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// E1 measures the approximation ratio of ApproxMinCost against the
+// exhaustive exact optimum over random instances (Theorem 2: ratio ≤ 2
+// under the stated assumptions).
+func E1(o Options) *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Approximation ratio vs exact optimum (Theorem 2)",
+		Columns: []string{"n", "W", "instances", "feasible", "mean ratio", "p95 ratio", "max ratio", "≤2"},
+		Notes:   "ratio = approx cost / exact cost; Theorem 2 predicts ≤ 2 under uniform costs + full conversion",
+	}
+	type cfg struct{ n, w int }
+	cfgs := []cfg{{6, 2}, {8, 2}, {8, 3}, {10, 3}}
+	if o.Quick {
+		cfgs = []cfg{{6, 2}, {8, 2}}
+	}
+	seeds := o.seeds(120, 12)
+	for _, c := range cfgs {
+		type sample struct {
+			ratio    float64
+			feasible bool
+		}
+		samples := parallel.Map(seeds, 0, func(i int) sample {
+			rng := rand.New(rand.NewSource(int64(1000*c.n + 10*c.w + i)))
+			net := randomInstance(rng, c.n, c.w, 0)
+			s, d := 0, c.n-1
+			r, ok := core.ApproxMinCost(net, s, d, nil)
+			sol, _, okE := exact.Exhaustive(net, s, d, 0)
+			if !ok || !okE {
+				return sample{}
+			}
+			return sample{ratio: r.Cost / sol.Cost, feasible: true}
+		})
+		var ratios []float64
+		var str stats.Stream
+		within := 0
+		for _, s := range samples {
+			if !s.feasible {
+				continue
+			}
+			ratios = append(ratios, s.ratio)
+			str.Add(s.ratio)
+			if s.ratio <= 2+1e-9 {
+				within++
+			}
+		}
+		t.AddRow(fmt.Sprint(c.n), fmt.Sprint(c.w), fmt.Sprint(seeds),
+			fmt.Sprint(len(ratios)), fmtF(str.Mean()),
+			fmtF(stats.Quantile(ratios, 0.95)), fmtF(str.Max()),
+			fmtPct(float64(within)/float64(max(1, len(ratios)))))
+	}
+	return t
+}
+
+// E2 measures ApproxMinCost wall time against the Theorem 1 bound
+// O(nd + nW² + m log n + nW log(nW)).
+func E2(o Options) *Table {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Running-time scaling (Theorem 1)",
+		Columns: []string{"n", "W", "m", "d", "µs/request", "µs/paper-term", "µs/impl-term"},
+		Notes:   "paper term = nd + nW² + m·log2(n) + nW·log2(nW) (assumes O(1) conversion-edge weights); impl term adds the W²-per-conversion-edge averaging, Σ|Ein||Eout|·W²; a flat column matches the corresponding growth model",
+	}
+	type cfg struct{ n, w int }
+	cfgs := []cfg{{25, 4}, {50, 4}, {100, 4}, {200, 4}, {50, 8}, {50, 16}, {50, 32}}
+	if o.Quick {
+		cfgs = []cfg{{25, 4}, {50, 4}, {50, 8}}
+	}
+	reps := o.seeds(40, 5)
+	for _, c := range cfgs {
+		net := topo.Waxman(c.n, 0.4, 0.4, 42, topo.Config{W: c.w})
+		// Warm-up.
+		core.ApproxMinCost(net, 0, c.n/2, nil)
+		start := time.Now()
+		calls := 0
+		for r := 0; r < reps; r++ {
+			s := r % c.n
+			d := (r + c.n/2) % c.n
+			if s == d {
+				continue
+			}
+			core.ApproxMinCost(net, s, d, nil)
+			calls++
+		}
+		elapsed := float64(time.Since(start).Microseconds()) / float64(max(1, calls))
+		m := float64(net.Links())
+		n := float64(c.n)
+		w := float64(c.w)
+		d := float64(net.MaxDegree())
+		bound := n*d + n*w*w + m*math.Log2(n) + n*w*math.Log2(n*w)
+		convPairs := 0.0
+		for v := 0; v < c.n; v++ {
+			convPairs += float64(len(net.In(v)) * len(net.Out(v)))
+		}
+		impl := bound + convPairs*w*w
+		t.AddRow(fmt.Sprint(c.n), fmt.Sprint(c.w), fmt.Sprint(net.Links()),
+			fmt.Sprint(net.MaxDegree()), fmtF(elapsed),
+			fmt.Sprintf("%.3g", elapsed/bound*1000), fmt.Sprintf("%.3g", elapsed/impl*1000))
+	}
+	return t
+}
+
+// E3 measures the MinCog load ratio against the exact minimum-load oracle
+// (Theorem 3: ratio < 3).
+func E3(o Options) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Load ratio vs exact min load (Theorem 3)",
+		Columns: []string{"n", "W", "preload", "feasible", "mean ratio", "max ratio", "<3"},
+		Notes:   "ratio = achieved path load / oracle optimum; Theorem 3 bounds the threshold search by 3",
+	}
+	type cfg struct {
+		n, w    int
+		preload float64
+	}
+	cfgs := []cfg{{8, 4, 0.3}, {10, 4, 0.5}, {12, 8, 0.5}, {12, 8, 0.7}}
+	if o.Quick {
+		cfgs = []cfg{{8, 4, 0.3}, {10, 4, 0.5}}
+	}
+	seeds := o.seeds(150, 15)
+	for _, c := range cfgs {
+		type sample struct {
+			ratio float64
+			ok    bool
+		}
+		samples := parallel.Map(seeds, 0, func(i int) sample {
+			rng := rand.New(rand.NewSource(int64(7000*c.n + i)))
+			net := randomInstance(rng, c.n, c.w, c.preload)
+			s, d := 0, c.n-1
+			r, ok := core.MinLoad(net, s, d, nil)
+			oracle, okO := core.OptimalLoadOracle(net, s, d)
+			if !ok || !okO || oracle == 0 {
+				return sample{}
+			}
+			return sample{ratio: r.PathLoad / oracle, ok: true}
+		})
+		var str stats.Stream
+		within := 0
+		n := 0
+		for _, s := range samples {
+			if !s.ok {
+				continue
+			}
+			n++
+			str.Add(s.ratio)
+			if s.ratio < 3 {
+				within++
+			}
+		}
+		t.AddRow(fmt.Sprint(c.n), fmt.Sprint(c.w), fmtF(c.preload),
+			fmt.Sprint(n), fmtF(str.Mean()), fmtF(str.Max()),
+			fmtPct(float64(within)/float64(max(1, n))))
+	}
+	return t
+}
+
+// E6 measures the Lemma 2 refinement: the optimal wavelength assignment on
+// the mapped routes versus the first-fit assignment and the auxiliary pair
+// weight ω(P₁)+ω(P₂).
+func E6(o Options) *Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Lemma 2 refinement improvement",
+		Columns: []string{"n", "W", "feasible", "mean refined/naive", "mean refined/ω", "improved"},
+		Notes:   "instances use heterogeneous per-wavelength costs so first-fit is suboptimal; Lemma 2 predicts refined ≤ naive",
+	}
+	type cfg struct{ n, w int }
+	cfgs := []cfg{{8, 4}, {12, 8}, {16, 8}}
+	if o.Quick {
+		cfgs = cfgs[:1]
+	}
+	seeds := o.seeds(150, 15)
+	for _, c := range cfgs {
+		type sample struct {
+			vsNaive, vsAux float64
+			improved, ok   bool
+		}
+		samples := parallel.Map(seeds, 0, func(i int) sample {
+			rng := rand.New(rand.NewSource(int64(31000 + i)))
+			net := heterogeneousInstance(rng, c.n, c.w)
+			s, d := 0, c.n-1
+			r, ok := core.ApproxMinCost(net, s, d, nil)
+			if !ok || math.IsInf(r.NaiveCost, 1) {
+				return sample{}
+			}
+			return sample{
+				vsNaive:  r.Cost / r.NaiveCost,
+				vsAux:    r.Cost / r.AuxWeight,
+				improved: r.Cost < r.NaiveCost-1e-9,
+				ok:       true,
+			}
+		})
+		var sN, sA stats.Stream
+		improved, n := 0, 0
+		for _, s := range samples {
+			if !s.ok {
+				continue
+			}
+			n++
+			sN.Add(s.vsNaive)
+			sA.Add(s.vsAux)
+			if s.improved {
+				improved++
+			}
+		}
+		t.AddRow(fmt.Sprint(c.n), fmt.Sprint(c.w), fmt.Sprint(n),
+			fmtF(sN.Mean()), fmtF(sA.Mean()),
+			fmtPct(float64(improved)/float64(max(1, n))))
+	}
+	return t
+}
+
+// heterogeneousInstance uses per-wavelength cost spread so wavelength
+// assignment matters (violating assumption (ii) deliberately, as the Lemma 2
+// machinery still applies and the gap becomes visible).
+func heterogeneousInstance(rng *rand.Rand, n, w int) *wdm.Network {
+	g := wdm.NewNetwork(n, w)
+	add := func(u, v int) {
+		lams := make([]wdm.Wavelength, w)
+		costs := make([]float64, w)
+		for lam := 0; lam < w; lam++ {
+			lams[lam] = lam
+			costs[lam] = 1 + rng.Float64()*6
+		}
+		g.AddLink(u, v, lams, costs)
+	}
+	for v := 0; v < n; v++ {
+		add(v, (v+1)%n)
+		add((v+1)%n, v)
+	}
+	for i := 0; i < n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			add(u, v)
+		}
+	}
+	g.SetAllConverters(wdm.NewFullConverter(w, 0.5))
+	return g
+}
+
+// E7 compares the Suurballe-based router against the naive two-step
+// baseline: success rate (trap topologies) and cost when both succeed.
+func E7(o Options) *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Suurballe-based routing vs two-step baseline",
+		Columns: []string{"topology", "requests", "approx ok", "two-step ok", "mean cost ratio (2step/approx)"},
+		Notes:   "two-step = shortest semilightpath, delete links, route again; fails on trap instances",
+	}
+	seeds := o.seeds(200, 20)
+	type caseDef struct {
+		name string
+		make func(i int) (*wdm.Network, int, int)
+	}
+	cases := []caseDef{
+		{"trap-6node", func(i int) (*wdm.Network, int, int) {
+			return trapNet(), 0, 5
+		}},
+		{"waxman-16", func(i int) (*wdm.Network, int, int) {
+			net := topo.Waxman(16, 0.35, 0.35, int64(i), topo.Config{W: 4})
+			return net, 0, 15
+		}},
+		{"nsfnet", func(i int) (*wdm.Network, int, int) {
+			rng := rand.New(rand.NewSource(int64(i)))
+			net := topo.NSFNET(topo.Config{W: 4})
+			s := rng.Intn(14)
+			d := rng.Intn(13)
+			if d >= s {
+				d++
+			}
+			return net, s, d
+		}},
+	}
+	for _, c := range cases {
+		type sample struct {
+			okA, okT bool
+			ratio    float64
+		}
+		samples := parallel.Map(seeds, 0, func(i int) sample {
+			net, s, d := c.make(i)
+			ra, okA := core.ApproxMinCost(net, s, d, nil)
+			rt, okT := core.TwoStepMinCost(net, s, d, nil)
+			out := sample{okA: okA, okT: okT}
+			if okA && okT {
+				out.ratio = rt.Cost / ra.Cost
+			}
+			return out
+		})
+		okA, okT := 0, 0
+		var ratio stats.Stream
+		for _, s := range samples {
+			if s.okA {
+				okA++
+			}
+			if s.okT {
+				okT++
+			}
+			if s.okA && s.okT {
+				ratio.Add(s.ratio)
+			}
+		}
+		t.AddRow(c.name, fmt.Sprint(seeds),
+			fmtPct(float64(okA)/float64(seeds)), fmtPct(float64(okT)/float64(seeds)),
+			fmtF(ratio.Mean()))
+	}
+	return t
+}
+
+func trapNet() *wdm.Network {
+	g := wdm.NewNetwork(6, 2)
+	g.AddUniformLink(0, 1, 1)
+	g.AddUniformLink(1, 4, 1)
+	g.AddUniformLink(4, 5, 1)
+	g.AddUniformLink(1, 2, 2)
+	g.AddUniformLink(2, 5, 2)
+	g.AddUniformLink(0, 3, 2)
+	g.AddUniformLink(3, 4, 2)
+	g.SetAllConverters(wdm.NewFullConverter(2, 0.5))
+	return g
+}
+
+// E9 validates the §3.1 integer program: agreement with the exhaustive
+// oracle and branch-and-bound effort.
+func E9(o Options) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "ILP exact solver vs exhaustive oracle (§3.1)",
+		Columns: []string{"n", "W", "instances", "agree", "mean vars", "mean cons", "mean B&B nodes"},
+		Notes:   "agree = identical feasibility and objective (1e-5); the ILP is Eqs. 3–21 with linearised (17)–(18)",
+	}
+	type cfg struct{ n, w int }
+	cfgs := []cfg{{4, 2}, {5, 2}, {5, 3}}
+	if o.Quick {
+		cfgs = cfgs[:2]
+	}
+	seeds := o.seeds(30, 6)
+	for _, c := range cfgs {
+		type sample struct {
+			agree                bool
+			vars, cons, bbNodes  int
+			feasible, comparable bool
+		}
+		samples := parallel.Map(seeds, 0, func(i int) sample {
+			rng := rand.New(rand.NewSource(int64(53000 + 100*c.n + i)))
+			net := randomInstance(rng, c.n, c.w, 0.2)
+			s, d := 0, c.n-1
+			esol, _, okE := exact.Exhaustive(net, s, d, 0)
+			isol, st, okI := exact.ILP(net, s, d, exact.ILPConfig{})
+			out := sample{vars: st.Vars, cons: st.Constraints, bbNodes: st.Nodes, comparable: true}
+			switch {
+			case okE != okI:
+				out.agree = false
+			case !okE:
+				out.agree = true
+			default:
+				out.agree = math.Abs(esol.Cost-isol.Cost) < 1e-5
+				out.feasible = true
+			}
+			return out
+		})
+		agree := 0
+		var vars, cons, nodes stats.Stream
+		for _, s := range samples {
+			if s.agree {
+				agree++
+			}
+			vars.Add(float64(s.vars))
+			cons.Add(float64(s.cons))
+			nodes.Add(float64(s.bbNodes))
+		}
+		t.AddRow(fmt.Sprint(c.n), fmt.Sprint(c.w), fmt.Sprint(seeds),
+			fmtPct(float64(agree)/float64(seeds)),
+			fmtF(vars.Mean()), fmtF(cons.Mean()), fmtF(nodes.Mean()))
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,287 @@
+// Package bitset provides a compact fixed-capacity bit set used to represent
+// wavelength sets Λ(e) and Λ_avail(e) on WDM links. Operations are allocation
+// conscious: the common queries (membership, population count, intersection
+// count) touch only the underlying uint64 words.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bit set. The zero value is an empty set with capacity 0; use New
+// to create a set that can hold indices in [0, n).
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set capable of holding indices in [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// NewFull returns a set of capacity n with all n bits set.
+func NewFull(n int) *Set {
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// FromSlice returns a set of capacity n containing exactly the given indices.
+func FromSlice(n int, idx []int) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Add(i)
+	}
+	return s
+}
+
+// trim clears any bits beyond capacity in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << uint(s.n%wordBits)) - 1
+	}
+}
+
+// Cap returns the capacity (the n passed to New).
+func (s *Set) Cap() int { return s.n }
+
+// Add sets bit i. It panics if i is out of range.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove clears bit i. It panics if i is out of range.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether bit i is set. It panics if i is out of range.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bits are set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o. The two sets must have the
+// same capacity.
+func (s *Set) CopyFrom(o *Set) {
+	if s.n != o.n {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(s.words, o.words)
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all bits in [0, Cap()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// IntersectCount returns |s ∩ o| without allocating. Capacities must match.
+func (s *Set) IntersectCount(o *Set) int {
+	if s.n != o.n {
+		panic("bitset: IntersectCount capacity mismatch")
+	}
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// Intersects reports whether s and o share any element.
+func (s *Set) Intersects(o *Set) bool {
+	if s.n != o.n {
+		panic("bitset: Intersects capacity mismatch")
+	}
+	for i, w := range s.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectWith sets s = s ∩ o in place.
+func (s *Set) IntersectWith(o *Set) {
+	if s.n != o.n {
+		panic("bitset: IntersectWith capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// UnionWith sets s = s ∪ o in place.
+func (s *Set) UnionWith(o *Set) {
+	if s.n != o.n {
+		panic("bitset: UnionWith capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// DifferenceWith sets s = s \ o in place.
+func (s *Set) DifferenceWith(o *Set) {
+	if s.n != o.n {
+		panic("bitset: DifferenceWith capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	if s.n != o.n {
+		panic("bitset: SubsetOf capacity mismatch")
+	}
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain exactly the same elements and have
+// the same capacity.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Min returns the smallest set bit, or -1 if the set is empty.
+func (s *Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextAfter returns the smallest set bit strictly greater than i, or -1 if
+// none exists. Passing i = -1 yields the minimum element.
+func (s *Set) NextAfter(i int) int {
+	i++
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns false
+// the iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set elements in ascending order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

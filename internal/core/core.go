@@ -1,0 +1,422 @@
+// Package core implements the paper's robust-routing algorithms: for a
+// connection request (s, t) it establishes two edge-disjoint semilightpaths —
+// a primary and a pre-reserved backup — under three objectives:
+//
+//   - ApproxMinCost (§3.3): minimise the cost sum. Build the auxiliary graph
+//     G′, find a minimum-weight edge-disjoint pair with Suurballe's
+//     algorithm, map each auxiliary path to its induced subgraph G_i, and
+//     refine by optimal wavelength assignment (Lemma 2). 2-approximation
+//     under the paper's assumptions (Theorem 2).
+//   - MinLoad (§4.1, Find_Two_Paths_MinCog): minimise the network load via a
+//     doubling threshold search over ϑ and the exponential congestion
+//     weights of G_c. Load within 3× of optimal (Theorem 3).
+//   - MinLoadCost (§4.2): two phases — fix a feasible load bound ϑ with the
+//     MinCog search, then route minimum-cost within that bound on G_rc.
+//
+// Baselines used by the evaluation: TwoStepMinCost (shortest semilightpath,
+// delete, second shortest) and the exact solvers in package exact.
+package core
+
+import (
+	"math"
+
+	"repro/internal/auxgraph"
+	"repro/internal/disjoint"
+	"repro/internal/lightpath"
+	"repro/internal/wdm"
+)
+
+// Options tunes the approximate algorithms.
+type Options struct {
+	// Base is the exponent base a > 1 for the G_c congestion weights
+	// (auxgraph.DefaultBase if 0).
+	Base float64
+	// MaxIterations caps the MinCog threshold search (default 64).
+	MaxIterations int
+	// NoRefine skips the Lemma 2 refinement and keeps a first-fit
+	// wavelength assignment on the mapped routes (ablation switch).
+	NoRefine bool
+}
+
+func (o *Options) base() float64 {
+	if o == nil || o.Base == 0 {
+		return auxgraph.DefaultBase
+	}
+	return o.Base
+}
+
+func (o *Options) maxIter() int {
+	if o == nil || o.MaxIterations == 0 {
+		return 64
+	}
+	return o.MaxIterations
+}
+
+func (o *Options) noRefine() bool { return o != nil && o.NoRefine }
+
+// Result is a routed request: two edge-disjoint semilightpaths plus the
+// diagnostics the experiments record.
+type Result struct {
+	Primary *wdm.Semilightpath
+	Backup  *wdm.Semilightpath
+	// Cost is C(Primary) + C(Backup) per Eq. 1 — after refinement.
+	Cost float64
+	// AuxWeight is ω(P₁) + ω(P₂), the auxiliary-graph pair weight the
+	// Lemma 2 bound compares against (0 for algorithms without an aux pair).
+	AuxWeight float64
+	// NaiveCost is the cost of the first-fit (unrefined) wavelength
+	// assignment on the mapped routes — the C(P₁₁)+C(P₂₂) side of Lemma 2.
+	// +Inf when first-fit is infeasible.
+	NaiveCost float64
+	// Threshold is the load bound ϑ found by the MinCog search (load
+	// variants only).
+	Threshold float64
+	// PathLoad is max over chosen links of (U(e)+1)/N(e) — the network-load
+	// contribution of this route if it is established.
+	PathLoad float64
+	// Iterations is the number of threshold-search rounds (load variants).
+	Iterations int
+}
+
+// pathLoad computes max (U(e)+1)/N(e) over the links of both paths.
+func pathLoad(net *wdm.Network, ps ...*wdm.Semilightpath) float64 {
+	rho := 0.0
+	for _, p := range ps {
+		for _, h := range p.Hops {
+			l := net.Link(h.Link)
+			if r := float64(l.U()+1) / float64(l.N()); r > rho {
+				rho = r
+			}
+		}
+	}
+	return rho
+}
+
+// firstFit assigns the smallest available wavelength to every link of the
+// route and returns the resulting Eq. 1 cost, or +Inf when some implied
+// conversion is disallowed. This is the unrefined P_ii assignment of §3.3.
+func firstFit(net *wdm.Network, route []int) (*wdm.Semilightpath, float64) {
+	hops := make([]wdm.Hop, len(route))
+	for i, id := range route {
+		lam := net.Link(id).Avail().Min()
+		if lam < 0 {
+			return nil, math.Inf(1)
+		}
+		hops[i] = wdm.Hop{Link: id, Wavelength: lam}
+	}
+	p := &wdm.Semilightpath{Hops: hops}
+	c := p.Cost(net)
+	if math.IsInf(c, 1) { // disallowed conversion surfaces as +Inf ConvCost
+		return nil, math.Inf(1)
+	}
+	return p, c
+}
+
+// mapAndRefine converts an auxiliary pair into two semilightpaths. Each aux
+// path is mapped to its physical route; the Lemma 2 refinement then finds
+// the optimal wavelength assignment on that route (the optimal semilightpath
+// of the induced subgraph G_i, whose links are exactly the route's links).
+// ok is false when neither refinement nor first-fit yields a feasible
+// assignment for one of the routes (possible only with restricted
+// converters).
+func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *Options) (*Result, bool) {
+	res := &Result{AuxWeight: pair.Weight}
+	paths := make([]*wdm.Semilightpath, 2)
+	naiveTotal := 0.0
+	for i, auxPath := range [][]int{pair.Path1, pair.Path2} {
+		route := a.MapPath(auxPath)
+		if len(route) == 0 {
+			return nil, false
+		}
+		naive, nc := firstFit(net, route)
+		naiveTotal += nc
+		refined, rc, okR := lightpath.AssignWavelengths(net, route)
+		switch {
+		case opts.noRefine() && naive != nil:
+			paths[i] = naive
+			res.Cost += nc
+		case okR:
+			paths[i] = refined
+			res.Cost += rc
+		case naive != nil:
+			paths[i] = naive
+			res.Cost += nc
+		default:
+			return nil, false
+		}
+	}
+	res.NaiveCost = naiveTotal
+	res.Primary, res.Backup = paths[0], paths[1]
+	// Order so the cheaper path serves as primary.
+	if res.Backup.Cost(net) < res.Primary.Cost(net) {
+		res.Primary, res.Backup = res.Backup, res.Primary
+	}
+	res.PathLoad = pathLoad(net, res.Primary, res.Backup)
+	return res, true
+}
+
+// ApproxMinCost routes (s, t) per §3.3: auxiliary graph G′ + Suurballe +
+// Lemma 2 refinement. ok is false when no two edge-disjoint semilightpaths
+// exist in the residual network (or refinement is infeasible under
+// restricted conversion).
+func ApproxMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.Cost})
+	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
+	if !ok {
+		return nil, false
+	}
+	return mapAndRefine(net, a, pair, opts)
+}
+
+// ApproxMinCostNodeDisjoint routes (s, t) with an internally node-disjoint
+// primary/backup pair — the stronger §1 protection discipline that survives
+// single node failures as well as link failures. It reuses the §3.3
+// machinery with a unit-capacity hub gadget per intermediate node in the
+// auxiliary graph. ok is false when no node-disjoint pair exists.
+func ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.Cost, NodeDisjoint: true})
+	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
+	if !ok {
+		return nil, false
+	}
+	res, ok := mapAndRefine(net, a, pair, opts)
+	if !ok {
+		return nil, false
+	}
+	// Defensive: the hub gadget guarantees this, so a violation would be a
+	// construction bug.
+	if !nodesDisjoint(net, res.Primary, res.Backup, s, t) {
+		return nil, false
+	}
+	return res, true
+}
+
+// nodesDisjoint reports whether two paths share no intermediate node.
+func nodesDisjoint(net *wdm.Network, p, q *wdm.Semilightpath, s, t int) bool {
+	seen := map[int]bool{}
+	for _, v := range p.Nodes(net) {
+		if v != s && v != t {
+			seen[v] = true
+		}
+	}
+	for _, v := range q.Nodes(net) {
+		if v != s && v != t && seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// thetaBounds returns ϑ_min = min_e (U(e)+1)/N(e) and ϑ_max = max_e … over
+// links that still have available wavelengths.
+func thetaBounds(net *wdm.Network) (lo, hi float64, any bool) {
+	lo, hi = math.Inf(1), 0
+	for id := 0; id < net.Links(); id++ {
+		l := net.Link(id)
+		if l.Avail().Empty() || l.N() == 0 {
+			continue
+		}
+		any = true
+		r := float64(l.U()+1) / float64(l.N())
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return lo, hi, any
+}
+
+// minCogSearch runs the Find_Two_Paths_MinCog doubling threshold search: it
+// starts at ϑ_min with increment Δ/2^{⌈log₂(1/Δ)⌉} and doubles the increment
+// after every infeasible round, finishing with the complete residual graph
+// at ϑ_max. It returns the feasible threshold, the aux graph and pair at
+// that threshold, and the round count. The doubling schedule yields the
+// Theorem 3 load ratio < 3: a success at ϑ after a failure at ϑ−δ implies
+// ϑ* > ϑ−δ while δ ≤ 2·(ϑ−δ−ϑ_min) + Δ/2^{j₀}.
+func minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, opts *Options) (float64, *auxgraph.Aux, *disjoint.Pair, int, bool) {
+	lo, hi, any := thetaBounds(net)
+	if !any {
+		return 0, nil, nil, 0, false
+	}
+	try := func(theta float64) (*auxgraph.Aux, *disjoint.Pair, bool) {
+		a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: kind, Threshold: theta, Base: opts.base()})
+		pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
+		return a, pair, ok
+	}
+	delta := hi - lo
+	iters := 0
+	if delta <= 1e-12 {
+		// Uniform loads: the only meaningful graph is the full residual one.
+		a, pair, ok := try(hi)
+		return hi, a, pair, 1, ok
+	}
+	j0 := int(math.Ceil(math.Log2(1 / delta)))
+	if j0 < 0 {
+		j0 = 0
+	}
+	inc := delta / math.Pow(2, float64(j0))
+	theta := lo
+	maxIter := opts.maxIter()
+	for iters < maxIter {
+		iters++
+		if theta >= hi {
+			theta = hi
+		}
+		a, pair, ok := try(theta)
+		if ok {
+			return theta, a, pair, iters, true
+		}
+		if theta >= hi {
+			return 0, nil, nil, iters, false // drop the request
+		}
+		theta += inc
+		inc *= 2
+	}
+	// Iteration cap: last resort, the complete residual graph.
+	iters++
+	a, pair, ok := try(hi)
+	return hi, a, pair, iters, ok
+}
+
+// MinLoad routes (s, t) per §4.1: find the smallest feasible load bound ϑ by
+// the MinCog search over G_c (exponential congestion weights) and return the
+// refined pair found at that bound.
+func MinLoad(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	theta, a, pair, iters, ok := minCogSearch(net, s, t, auxgraph.Load, opts)
+	if !ok {
+		return nil, false
+	}
+	res, ok := mapAndRefine(net, a, pair, opts)
+	if !ok {
+		return nil, false
+	}
+	res.Threshold = theta
+	res.Iterations = iters
+	return res, true
+}
+
+// MinLoadCost routes (s, t) per §4.2: phase 1 fixes the feasible load bound
+// ϑ with the MinCog search; phase 2 rebuilds the auxiliary graph as G_rc
+// (same filter, average-cost weights) and routes minimum-cost within the
+// bound.
+func MinLoadCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	theta, _, _, iters, ok := minCogSearch(net, s, t, auxgraph.Load, opts)
+	if !ok {
+		return nil, false
+	}
+	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: theta, Base: opts.base()})
+	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
+	if !ok {
+		// ϑ was certified feasible on the identical G_c skeleton; reaching
+		// here means numerics only. Fall back to the full residual graph.
+		a = auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: math.Inf(1)})
+		pair, ok = disjoint.Suurballe(a.G, a.S, a.T)
+		if !ok {
+			return nil, false
+		}
+	}
+	res, ok := mapAndRefine(net, a, pair, opts)
+	if !ok {
+		return nil, false
+	}
+	res.Threshold = theta
+	res.Iterations = iters
+	return res, true
+}
+
+// TwoStepMinCost is the naive baseline (E7): route an optimal semilightpath,
+// remove its physical links, route a second one. It can fail on trap
+// topologies where ApproxMinCost succeeds, and is never cheaper.
+func TwoStepMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	p1, c1, ok := lightpath.Optimal(net, s, t, nil)
+	if !ok {
+		return nil, false
+	}
+	used := make(map[int]bool, p1.Len())
+	for _, h := range p1.Hops {
+		used[h.Link] = true
+	}
+	p2, c2, ok := lightpath.Optimal(net, s, t, &lightpath.Options{
+		AllowedLinks: func(id int) bool { return !used[id] },
+	})
+	if !ok {
+		return nil, false
+	}
+	res := &Result{
+		Primary:   p1,
+		Backup:    p2,
+		Cost:      c1 + c2,
+		NaiveCost: c1 + c2,
+	}
+	res.PathLoad = pathLoad(net, p1, p2)
+	return res, true
+}
+
+// OptimalLoadOracle computes the exact minimum achievable path load — the
+// smallest c such that two edge-disjoint semilightpath-feasible routes exist
+// using only links with (U(e)+1)/N(e) ≤ c. Candidate values are the finite
+// set of per-link ratios, so the oracle is exact; it is the reference for
+// the Theorem 3 ratio experiment (E3).
+func OptimalLoadOracle(net *wdm.Network, s, t int) (float64, bool) {
+	ratios := map[float64]bool{}
+	for id := 0; id < net.Links(); id++ {
+		l := net.Link(id)
+		if l.Avail().Empty() || l.N() == 0 {
+			continue
+		}
+		ratios[float64(l.U()+1)/float64(l.N())] = true
+	}
+	if len(ratios) == 0 {
+		return 0, false
+	}
+	cands := make([]float64, 0, len(ratios))
+	for r := range ratios {
+		cands = append(cands, r)
+	}
+	// Insertion sort (tiny sets).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	for _, c := range cands {
+		// Exact filter: keep exactly the links whose post-routing ratio
+		// (U+1)/N stays within the candidate cap.
+		a := auxgraph.Build(net, s, t, auxgraph.Params{
+			Kind: auxgraph.Load,
+			Filter: func(id int) bool {
+				l := net.Link(id)
+				return float64(l.U()+1)/float64(l.N()) <= c+1e-12
+			},
+		})
+		if _, ok := disjoint.Suurballe(a.G, a.S, a.T); ok {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Establish reserves both paths of a routed result on the network. Either
+// both paths are reserved or neither.
+func Establish(net *wdm.Network, r *Result) error {
+	if err := net.Reserve(r.Primary); err != nil {
+		return err
+	}
+	if err := net.Reserve(r.Backup); err != nil {
+		if rerr := net.ReleasePath(r.Primary); rerr != nil {
+			panic("core: rollback failed: " + rerr.Error())
+		}
+		return err
+	}
+	return nil
+}
+
+// Teardown releases both paths of an established result.
+func Teardown(net *wdm.Network, r *Result) error {
+	if err := net.ReleasePath(r.Primary); err != nil {
+		return err
+	}
+	return net.ReleasePath(r.Backup)
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/lightpath"
+	"repro/internal/wdm"
+)
+
+// ApproxMinCostSRLG routes (s, t) with a backup that is both edge-disjoint
+// and SRLG-disjoint from the primary: the backup avoids every link sharing a
+// risk group with any primary link, so a conduit or duct cut that takes out
+// several fibers at once still leaves the backup intact.
+//
+// Joint SRLG-disjoint pair optimisation is NP-hard even without wavelengths,
+// so this uses the standard active-path-first heuristic hardened with
+// k-shortest retries: candidate primaries are enumerated in cost order (up
+// to maxPrimaries, default 8) and the first admitting an SRLG-disjoint
+// backup wins. ok is false when no candidate works — which can happen even
+// if a joint solution exists (the heuristic's known gap; the trap tests
+// exercise it).
+func ApproxMinCostSRLG(net *wdm.Network, s, t int, maxPrimaries int, opts *Options) (*Result, bool) {
+	if maxPrimaries <= 0 {
+		maxPrimaries = 8
+	}
+	primaries := lightpath.KShortest(net, s, t, maxPrimaries)
+	for _, primary := range primaries {
+		pLinks := map[int]bool{}
+		for _, h := range primary.Hops {
+			pLinks[h.Link] = true
+		}
+		allowed := func(id int) bool {
+			if pLinks[id] {
+				return false
+			}
+			for pl := range pLinks {
+				if net.SharesRisk(id, pl) {
+					return false
+				}
+			}
+			return true
+		}
+		backup, bCost, ok := lightpath.Optimal(net, s, t, &lightpath.Options{AllowedLinks: allowed})
+		if !ok {
+			continue
+		}
+		pCost := primary.Cost(net)
+		res := &Result{
+			Primary:   primary,
+			Backup:    backup,
+			Cost:      pCost + bCost,
+			NaiveCost: pCost + bCost,
+		}
+		if bCost < pCost {
+			res.Primary, res.Backup = res.Backup, res.Primary
+		}
+		res.PathLoad = pathLoad(net, res.Primary, res.Backup)
+		return res, true
+	}
+	return nil, false
+}

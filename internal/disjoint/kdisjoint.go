@@ -1,0 +1,143 @@
+package disjoint
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// KPaths is a set of k pairwise edge-disjoint paths from s to t with the
+// minimum total weight among all such sets.
+type KPaths struct {
+	Paths  [][]int
+	Weight float64
+}
+
+// KDisjoint finds k pairwise edge-disjoint s→t paths of minimum total weight
+// using successive shortest augmenting paths with Johnson potentials — the
+// natural generalisation of Suurballe's algorithm (k = 2 reproduces it; the
+// paper's Find_Two_Paths loop is the k = 2 instance). It returns ok = false
+// when fewer than k edge-disjoint paths exist. All enabled edge weights must
+// be non-negative.
+func KDisjoint(g *graph.Graph, s, t, k int) (*KPaths, bool) {
+	if s == t || k <= 0 {
+		return nil, false
+	}
+	n := g.N()
+	m := g.M()
+	used := make([]bool, m) // edge carries one unit of flow
+	pot := make([]float64, n)
+
+	// dist/prev arrays reused across iterations.
+	dist := make([]float64, n)
+	prevEdge := make([]int, n) // edge id; ^id encodes a backward residual arc
+	h := pq.NewIndexedHeap(n)
+
+	for iter := 0; iter < k; iter++ {
+		for v := 0; v < n; v++ {
+			dist[v] = math.Inf(1)
+			prevEdge[v] = -1
+		}
+		dist[s] = 0
+		h.Reset()
+		h.Push(s, 0)
+		for !h.Empty() {
+			u, du := h.Pop()
+			if du > dist[u] {
+				continue
+			}
+			// Forward residual arcs: unused edges out of u.
+			for _, id := range g.Out(u) {
+				if g.Disabled(id) || used[id] {
+					continue
+				}
+				e := g.Edge(id)
+				rc := e.Weight + pot[u] - pot[e.To]
+				if rc < 0 {
+					rc = 0 // float round-off guard
+				}
+				if nd := du + rc; nd < dist[e.To] {
+					dist[e.To] = nd
+					prevEdge[e.To] = id
+					h.PushOrDecrease(e.To, nd)
+				}
+			}
+			// Backward residual arcs: used edges into u can be cancelled.
+			for _, id := range g.In(u) {
+				if g.Disabled(id) || !used[id] {
+					continue
+				}
+				e := g.Edge(id)
+				rc := -e.Weight + pot[u] - pot[e.From]
+				if rc < 0 {
+					rc = 0
+				}
+				if nd := du + rc; nd < dist[e.From] {
+					dist[e.From] = nd
+					prevEdge[e.From] = ^id
+					h.PushOrDecrease(e.From, nd)
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			return nil, false // fewer than k edge-disjoint paths exist
+		}
+		// Update potentials; unreached vertices keep their old potential
+		// (they cannot participate in future augmenting paths through the
+		// current flow anyway, and capping keeps reduced costs finite).
+		for v := 0; v < n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				pot[v] += dist[v]
+			} else {
+				pot[v] += dist[t]
+			}
+		}
+		// Augment: walk back from t toggling edge usage.
+		at := t
+		for at != s {
+			pe := prevEdge[at]
+			if pe >= 0 {
+				used[pe] = true
+				at = g.Edge(pe).From
+			} else {
+				id := ^pe
+				used[id] = false
+				at = g.Edge(id).To
+			}
+		}
+	}
+
+	// Decompose the flow into k paths.
+	adj := make(map[int][]int)
+	total := 0.0
+	count := 0
+	for id := 0; id < m; id++ {
+		if used[id] {
+			e := g.Edge(id)
+			adj[e.From] = append(adj[e.From], id)
+			total += e.Weight
+			count++
+		}
+	}
+	res := &KPaths{Weight: total}
+	for i := 0; i < k; i++ {
+		var path []int
+		at := s
+		for at != t {
+			out := adj[at]
+			if len(out) == 0 {
+				return nil, false // defensive: flow should decompose
+			}
+			id := out[len(out)-1]
+			adj[at] = out[:len(out)-1]
+			path = append(path, id)
+			at = g.Edge(id).To
+			if len(path) > count {
+				return nil, false
+			}
+		}
+		res.Paths = append(res.Paths, path)
+	}
+	return res, true
+}

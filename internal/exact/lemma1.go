@@ -1,0 +1,168 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/wdm"
+)
+
+// Lemma 1 (§3.2) proves NP-hardness by reducing the two minimum-cost
+// edge-disjoint paths problem with per-path edge costs [Li–McCormick–
+// Simchi-Levi] to the optimal edge-disjoint semilightpath problem without
+// wavelength conversion. This file implements the reduction constructively
+// so the equivalence can be checked computationally (it is exercised by the
+// tests, which compare both sides by brute force on small instances).
+
+// PairEdge is an edge of the two-cost instance: traversing it costs W1 on
+// the first path and W2 on the second. The reduction uses weights in
+// {(0,0), (0,1), (1,0)}; a weight of 1 means "this path may not use the
+// edge" in the zero-cost decision problem.
+type PairEdge struct {
+	From, To int
+	W1, W2   int
+}
+
+// Lemma1Reduction builds the WDM instance of the paper's reduction: two
+// wavelengths, no conversion anywhere, and for each edge
+//
+//	(0,0) → both λ1 and λ2 installed,
+//	(1,0) → only λ2 installed (the λ1-path cannot use the edge),
+//	(0,1) → only λ1 installed,
+//
+// all at zero traversal cost. Two zero-cost edge-disjoint paths — one
+// riding λ1, the other λ2 — exist in the WDM instance iff the two-cost
+// instance has a zero-cost solution.
+func Lemma1Reduction(n int, edges []PairEdge) (*wdm.Network, error) {
+	net := wdm.NewNetwork(n, 2)
+	net.SetAllConverters(wdm.NoConverter{})
+	for _, e := range edges {
+		switch {
+		case e.W1 == 0 && e.W2 == 0:
+			net.AddLink(e.From, e.To, []wdm.Wavelength{0, 1}, []float64{0, 0})
+		case e.W1 == 1 && e.W2 == 0:
+			net.AddLink(e.From, e.To, []wdm.Wavelength{1}, []float64{0})
+		case e.W1 == 0 && e.W2 == 1:
+			net.AddLink(e.From, e.To, []wdm.Wavelength{0}, []float64{0})
+		default:
+			return nil, fmt.Errorf("exact: Lemma 1 weights must be (0,0), (1,0) or (0,1); got (%d,%d)", e.W1, e.W2)
+		}
+	}
+	return net, nil
+}
+
+// HasZeroCostSplitPair decides (by exhaustive enumeration; the problem is
+// NP-complete) whether the WDM instance admits two edge-disjoint lightpaths
+// from s to t with one assigned λ0 throughout and the other λ1 throughout.
+// This is exactly the question the Lemma 1 reduction encodes.
+func HasZeroCostSplitPair(net *wdm.Network, s, t int) bool {
+	paths0 := lightRoutes(net, s, t, 0)
+	if len(paths0) == 0 {
+		return false
+	}
+	paths1 := lightRoutes(net, s, t, 1)
+	for _, p0 := range paths0 {
+		used := map[int]bool{}
+		for _, id := range p0 {
+			used[id] = true
+		}
+		for _, p1 := range paths1 {
+			ok := true
+			for _, id := range p1 {
+				if used[id] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lightRoutes lists all node-simple routes from s to t whose every link
+// carries wavelength lam.
+func lightRoutes(net *wdm.Network, s, t int, lam wdm.Wavelength) [][]int {
+	var routes [][]int
+	onPath := make([]bool, net.Nodes())
+	var route []int
+	var dfs func(u int)
+	dfs = func(u int) {
+		if u == t {
+			routes = append(routes, append([]int(nil), route...))
+			return
+		}
+		onPath[u] = true
+		for _, id := range net.Out(u) {
+			l := net.Link(id)
+			if !l.Lambda().Contains(lam) || onPath[l.To] || l.To == s {
+				continue
+			}
+			route = append(route, id)
+			dfs(l.To)
+			route = route[:len(route)-1]
+		}
+		onPath[u] = false
+	}
+	dfs(s)
+	return routes
+}
+
+// TwoCostZeroSolution decides the original two-cost problem directly (the
+// left side of the reduction): do two edge-disjoint s→t paths exist with
+// the first path using only W1 = 0 edges and the second only W2 = 0 edges?
+func TwoCostZeroSolution(n int, edges []PairEdge, s, t int) bool {
+	// Enumerate simple paths over the allowed edge sets.
+	adj := make([][]int, n)
+	for i, e := range edges {
+		adj[e.From] = append(adj[e.From], i)
+	}
+	var enumerate func(costOf func(PairEdge) int) [][]int
+	enumerate = func(costOf func(PairEdge) int) [][]int {
+		var routes [][]int
+		onPath := make([]bool, n)
+		var route []int
+		var dfs func(u int)
+		dfs = func(u int) {
+			if u == t {
+				routes = append(routes, append([]int(nil), route...))
+				return
+			}
+			onPath[u] = true
+			for _, ei := range adj[u] {
+				e := edges[ei]
+				if costOf(e) != 0 || onPath[e.To] || e.To == s {
+					continue
+				}
+				route = append(route, ei)
+				dfs(e.To)
+				route = route[:len(route)-1]
+			}
+			onPath[u] = false
+		}
+		dfs(s)
+		return routes
+	}
+	first := enumerate(func(e PairEdge) int { return e.W1 })
+	second := enumerate(func(e PairEdge) int { return e.W2 })
+	for _, p1 := range first {
+		used := map[int]bool{}
+		for _, ei := range p1 {
+			used[ei] = true
+		}
+		for _, p2 := range second {
+			ok := true
+			for _, ei := range p2 {
+				if used[ei] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}

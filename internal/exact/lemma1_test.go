@@ -1,0 +1,98 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLemma1ReductionRejectsBadWeights(t *testing.T) {
+	_, err := Lemma1Reduction(2, []PairEdge{{From: 0, To: 1, W1: 1, W2: 1}})
+	if err == nil {
+		t.Fatal("(1,1) weights accepted")
+	}
+}
+
+func TestLemma1KnownPositive(t *testing.T) {
+	// Diamond: top corridor usable by path 1 only, bottom by path 2 only.
+	edges := []PairEdge{
+		{From: 0, To: 1, W1: 0, W2: 1},
+		{From: 1, To: 3, W1: 0, W2: 1},
+		{From: 0, To: 2, W1: 1, W2: 0},
+		{From: 2, To: 3, W1: 1, W2: 0},
+	}
+	if !TwoCostZeroSolution(4, edges, 0, 3) {
+		t.Fatal("two-cost instance should be solvable")
+	}
+	net, err := Lemma1Reduction(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasZeroCostSplitPair(net, 0, 3) {
+		t.Fatal("reduced WDM instance should be solvable")
+	}
+}
+
+func TestLemma1KnownNegative(t *testing.T) {
+	// Both corridors are λ0-only: the λ1 path cannot exist.
+	edges := []PairEdge{
+		{From: 0, To: 1, W1: 0, W2: 1},
+		{From: 1, To: 3, W1: 0, W2: 1},
+		{From: 0, To: 2, W1: 0, W2: 1},
+		{From: 2, To: 3, W1: 0, W2: 1},
+	}
+	if TwoCostZeroSolution(4, edges, 0, 3) {
+		t.Fatal("two-cost instance should be unsolvable")
+	}
+	net, _ := Lemma1Reduction(4, edges)
+	if HasZeroCostSplitPair(net, 0, 3) {
+		t.Fatal("reduced WDM instance should be unsolvable")
+	}
+}
+
+func TestLemma1SharedEdgeForcesConflict(t *testing.T) {
+	// A single middle edge usable by both paths: they cannot both cross it.
+	edges := []PairEdge{
+		{From: 0, To: 1, W1: 0, W2: 0},
+		{From: 1, To: 2, W1: 0, W2: 0}, // the bottleneck
+		{From: 2, To: 3, W1: 0, W2: 0},
+	}
+	if TwoCostZeroSolution(4, edges, 0, 3) {
+		t.Fatal("single corridor cannot host two edge-disjoint paths")
+	}
+	net, _ := Lemma1Reduction(4, edges)
+	if HasZeroCostSplitPair(net, 0, 3) {
+		t.Fatal("reduction broke the bottleneck")
+	}
+}
+
+// Property: the reduction is an equivalence — for random small instances,
+// the two-cost problem has a zero-cost solution iff the reduced WDM
+// instance has a λ-split edge-disjoint pair (the Lemma 1 claim).
+func TestQuickLemma1Equivalence(t *testing.T) {
+	weights := [][2]int{{0, 0}, {1, 0}, {0, 1}}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		var edges []PairEdge
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := weights[rng.Intn(len(weights))]
+			edges = append(edges, PairEdge{From: u, To: v, W1: w[0], W2: w[1]})
+		}
+		s, d := 0, n-1
+		left := TwoCostZeroSolution(n, edges, s, d)
+		net, err := Lemma1Reduction(n, edges)
+		if err != nil {
+			return false
+		}
+		right := HasZeroCostSplitPair(net, s, d)
+		return left == right
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

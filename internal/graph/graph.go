@@ -1,0 +1,381 @@
+// Package graph implements a directed weighted multigraph and the
+// shortest-path machinery the routing algorithms are built on: Dijkstra with
+// an indexed heap, Bellman–Ford for graphs with negative arcs (needed by the
+// Bhandari disjoint-path oracle), reachability, and bounded simple-path
+// enumeration (used by the exhaustive exact solver).
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pq"
+)
+
+// Inf is the distance reported for unreachable vertices.
+var Inf = math.Inf(1)
+
+// Edge is a directed arc of a multigraph. ID is the index of the edge in the
+// graph's edge list; Aux is a free payload slot callers may use to correlate
+// an edge with external state (e.g. the WDM link it was derived from).
+type Edge struct {
+	ID     int
+	From   int
+	To     int
+	Weight float64
+	Aux    int
+}
+
+// Graph is a directed weighted multigraph over vertices [0, N). Parallel
+// edges and self-loops are permitted; edges may be disabled without removal,
+// which the disjoint-path algorithms use to run on residual subgraphs.
+type Graph struct {
+	n        int
+	edges    []Edge
+	out      [][]int // out[v] = edge IDs leaving v
+	in       [][]int // in[v] = edge IDs entering v
+	disabled []bool
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{
+		n:   n,
+		out: make([][]int, n),
+		in:  make([][]int, n),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges (including disabled ones).
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge appends a directed edge and returns its ID.
+func (g *Graph) AddEdge(from, to int, weight float64) int {
+	return g.AddEdgeAux(from, to, weight, -1)
+}
+
+// AddEdgeAux appends a directed edge carrying an auxiliary payload.
+func (g *Graph) AddEdgeAux(from, to int, weight float64, aux int) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Weight: weight, Aux: aux})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	g.disabled = append(g.disabled, false)
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) Edge { return g.edges[id] }
+
+// SetWeight updates the weight of edge id.
+func (g *Graph) SetWeight(id int, w float64) { g.edges[id].Weight = w }
+
+// Out returns the IDs of edges leaving v (including disabled ones).
+func (g *Graph) Out(v int) []int { return g.out[v] }
+
+// In returns the IDs of edges entering v (including disabled ones).
+func (g *Graph) In(v int) []int { return g.in[v] }
+
+// OutDegree returns the number of enabled edges leaving v.
+func (g *Graph) OutDegree(v int) int {
+	d := 0
+	for _, id := range g.out[v] {
+		if !g.disabled[id] {
+			d++
+		}
+	}
+	return d
+}
+
+// InDegree returns the number of enabled edges entering v.
+func (g *Graph) InDegree(v int) int {
+	d := 0
+	for _, id := range g.in[v] {
+		if !g.disabled[id] {
+			d++
+		}
+	}
+	return d
+}
+
+// MaxDegree returns the maximum over vertices of out-degree + in-degree,
+// the d in the paper's complexity bounds.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.n; v++ {
+		if t := g.OutDegree(v) + g.InDegree(v); t > d {
+			d = t
+		}
+	}
+	return d
+}
+
+// Disable hides edge id from traversals until Enable is called.
+func (g *Graph) Disable(id int) { g.disabled[id] = true }
+
+// Enable re-activates edge id.
+func (g *Graph) Enable(id int) { g.disabled[id] = false }
+
+// Disabled reports whether edge id is currently disabled.
+func (g *Graph) Disabled(id int) bool { return g.disabled[id] }
+
+// EnableAll re-activates every edge.
+func (g *Graph) EnableAll() {
+	for i := range g.disabled {
+		g.disabled[i] = false
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:        g.n,
+		edges:    append([]Edge(nil), g.edges...),
+		out:      make([][]int, g.n),
+		in:       make([][]int, g.n),
+		disabled: append([]bool(nil), g.disabled...),
+	}
+	for v := 0; v < g.n; v++ {
+		c.out[v] = append([]int(nil), g.out[v]...)
+		c.in[v] = append([]int(nil), g.in[v]...)
+	}
+	return c
+}
+
+// PathResult holds a single-source shortest path tree.
+type PathResult struct {
+	Dist     []float64 // Dist[v] = shortest distance from source, Inf if unreachable
+	PrevEdge []int     // PrevEdge[v] = edge ID used to reach v, -1 at source/unreachable
+	Source   int
+}
+
+// Reached reports whether v is reachable from the source.
+func (r *PathResult) Reached(v int) bool { return !math.IsInf(r.Dist[v], 1) }
+
+// PathTo reconstructs the edge-ID path from the source to v, or nil if v is
+// unreachable (or v is the source, in which case the path is empty but
+// non-nil).
+func (r *PathResult) PathTo(v int, g *Graph) []int {
+	if !r.Reached(v) {
+		return nil
+	}
+	var rev []int
+	for v != r.Source {
+		e := r.PrevEdge[v]
+		if e < 0 {
+			return nil // defensive: broken tree
+		}
+		rev = append(rev, e)
+		v = g.Edge(e).From
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if rev == nil {
+		rev = []int{}
+	}
+	return rev
+}
+
+// Dijkstra computes single-source shortest paths from src over enabled edges.
+// All enabled edge weights must be non-negative; it panics otherwise.
+func (g *Graph) Dijkstra(src int) *PathResult {
+	res := &PathResult{
+		Dist:     make([]float64, g.n),
+		PrevEdge: make([]int, g.n),
+		Source:   src,
+	}
+	for v := range res.Dist {
+		res.Dist[v] = Inf
+		res.PrevEdge[v] = -1
+	}
+	res.Dist[src] = 0
+	h := pq.NewIndexedHeap(g.n)
+	h.Push(src, 0)
+	for !h.Empty() {
+		u, du := h.Pop()
+		if du > res.Dist[u] {
+			continue
+		}
+		for _, id := range g.out[u] {
+			if g.disabled[id] {
+				continue
+			}
+			e := &g.edges[id]
+			if e.Weight < 0 {
+				panic(fmt.Sprintf("graph: Dijkstra on negative edge %d (weight %g)", id, e.Weight))
+			}
+			nd := du + e.Weight
+			if nd < res.Dist[e.To] {
+				res.Dist[e.To] = nd
+				res.PrevEdge[e.To] = id
+				h.PushOrDecrease(e.To, nd)
+			}
+		}
+	}
+	return res
+}
+
+// BellmanFord computes single-source shortest paths allowing negative edge
+// weights. It returns an error result (ok=false) if a negative cycle is
+// reachable from src.
+func (g *Graph) BellmanFord(src int) (*PathResult, bool) {
+	res := &PathResult{
+		Dist:     make([]float64, g.n),
+		PrevEdge: make([]int, g.n),
+		Source:   src,
+	}
+	for v := range res.Dist {
+		res.Dist[v] = Inf
+		res.PrevEdge[v] = -1
+	}
+	res.Dist[src] = 0
+	// Queue-based (SPFA-style) relaxation with an iteration bound for
+	// negative-cycle detection.
+	inQueue := make([]bool, g.n)
+	relaxCount := make([]int, g.n)
+	queue := []int{src}
+	inQueue[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		for _, id := range g.out[u] {
+			if g.disabled[id] {
+				continue
+			}
+			e := &g.edges[id]
+			nd := res.Dist[u] + e.Weight
+			if nd < res.Dist[e.To]-1e-12 {
+				res.Dist[e.To] = nd
+				res.PrevEdge[e.To] = id
+				if !inQueue[e.To] {
+					relaxCount[e.To]++
+					if relaxCount[e.To] > g.n {
+						return res, false // negative cycle
+					}
+					queue = append(queue, e.To)
+					inQueue[e.To] = true
+				}
+			}
+		}
+	}
+	return res, true
+}
+
+// Reachable reports whether dst is reachable from src via enabled edges.
+func (g *Graph) Reachable(src, dst int) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, g.n)
+	seen[src] = true
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.out[u] {
+			if g.disabled[id] {
+				continue
+			}
+			v := g.edges[id].To
+			if v == dst {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// PathWeight sums the weights of the given edge-ID path.
+func (g *Graph) PathWeight(path []int) float64 {
+	w := 0.0
+	for _, id := range path {
+		w += g.edges[id].Weight
+	}
+	return w
+}
+
+// ValidatePath checks that the edge-ID sequence forms a connected directed
+// walk from src to dst over enabled edges.
+func (g *Graph) ValidatePath(path []int, src, dst int) error {
+	at := src
+	for i, id := range path {
+		if id < 0 || id >= len(g.edges) {
+			return fmt.Errorf("graph: path[%d] = %d out of range", i, id)
+		}
+		if g.disabled[id] {
+			return fmt.Errorf("graph: path[%d] = %d is disabled", i, id)
+		}
+		e := g.edges[id]
+		if e.From != at {
+			return fmt.Errorf("graph: path[%d] starts at %d, expected %d", i, e.From, at)
+		}
+		at = e.To
+	}
+	if at != dst {
+		return fmt.Errorf("graph: path ends at %d, expected %d", at, dst)
+	}
+	return nil
+}
+
+// SimplePaths enumerates all simple directed paths (no repeated vertex) from
+// src to dst over enabled edges, invoking fn with each edge-ID path. The
+// slice passed to fn is reused; callers must copy it to retain it. If fn
+// returns false, enumeration stops. maxLen bounds path length in edges
+// (<= 0 means no bound). Exponential: intended for small exact baselines.
+func (g *Graph) SimplePaths(src, dst, maxLen int, fn func(path []int) bool) {
+	if maxLen <= 0 {
+		maxLen = g.n // simple path cannot exceed n-1 edges anyway
+	}
+	onPath := make([]bool, g.n)
+	var path []int
+	var stopped bool
+	var dfs func(u int)
+	dfs = func(u int) {
+		if stopped {
+			return
+		}
+		if u == dst {
+			if !fn(path) {
+				stopped = true
+			}
+			return
+		}
+		if len(path) >= maxLen {
+			return
+		}
+		onPath[u] = true
+		for _, id := range g.out[u] {
+			if stopped {
+				break
+			}
+			if g.disabled[id] {
+				continue
+			}
+			v := g.edges[id].To
+			if onPath[v] || v == src {
+				continue
+			}
+			path = append(path, id)
+			dfs(v)
+			path = path[:len(path)-1]
+		}
+		onPath[u] = false
+	}
+	dfs(src)
+}

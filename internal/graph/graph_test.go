@@ -1,0 +1,326 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds:
+//
+//	0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (2), 1 -> 3 (7), 2 -> 3 (1)
+func diamond() *Graph {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(1, 3, 7)
+	g.AddEdge(2, 3, 1)
+	return g
+}
+
+func TestAddEdgeAndAccessors(t *testing.T) {
+	g := diamond()
+	if g.N() != 4 || g.M() != 5 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	e := g.Edge(2)
+	if e.From != 1 || e.To != 2 || e.Weight != 2 || e.ID != 2 {
+		t.Fatalf("Edge(2) = %+v", e)
+	}
+	if len(g.Out(0)) != 2 || len(g.In(3)) != 2 {
+		t.Fatal("adjacency lists wrong")
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(2) != 2 {
+		t.Fatal("degrees wrong")
+	}
+	// vertex 0: out 2 + in 0 = 2; vertex 1: out 2 + in 1 = 3;
+	// vertex 2: out 1 + in 2 = 3; vertex 3: out 0 + in 2 = 2.
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 2, 1)
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	g := diamond()
+	r := g.Dijkstra(0)
+	want := []float64{0, 1, 3, 4}
+	for v, d := range want {
+		if r.Dist[v] != d {
+			t.Errorf("Dist[%d] = %g, want %g", v, r.Dist[v], d)
+		}
+	}
+	path := r.PathTo(3, g)
+	if err := g.ValidatePath(path, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.PathWeight(path) != 4 {
+		t.Fatalf("path weight = %g", g.PathWeight(path))
+	}
+	// Path to source is empty but non-nil.
+	if p := r.PathTo(0, g); p == nil || len(p) != 0 {
+		t.Fatalf("PathTo(source) = %v", p)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	r := g.Dijkstra(0)
+	if r.Reached(2) {
+		t.Fatal("vertex 2 should be unreachable")
+	}
+	if !math.IsInf(r.Dist[2], 1) {
+		t.Fatalf("Dist[2] = %g", r.Dist[2])
+	}
+	if r.PathTo(2, g) != nil {
+		t.Fatal("PathTo unreachable should be nil")
+	}
+}
+
+func TestDijkstraNegativePanics(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, -1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative edge")
+		}
+	}()
+	g.Dijkstra(0)
+}
+
+func TestDijkstraRespectsDisabled(t *testing.T) {
+	g := diamond()
+	// Disable 0->1; now best to 3 is 0->2->3 = 5.
+	g.Disable(0)
+	r := g.Dijkstra(0)
+	if r.Dist[3] != 5 {
+		t.Fatalf("Dist[3] = %g, want 5", r.Dist[3])
+	}
+	g.Enable(0)
+	if g.Dijkstra(0).Dist[3] != 4 {
+		t.Fatal("Enable did not restore edge")
+	}
+	g.Disable(0)
+	g.EnableAll()
+	if g.Disabled(0) {
+		t.Fatal("EnableAll failed")
+	}
+}
+
+func TestBellmanFordNegativeEdges(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, -3)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(2, 3, 2)
+	r, ok := g.BellmanFord(0)
+	if !ok {
+		t.Fatal("unexpected negative cycle")
+	}
+	if r.Dist[2] != 2 || r.Dist[3] != 4 {
+		t.Fatalf("Dist = %v", r.Dist)
+	}
+	path := r.PathTo(3, g)
+	if err := g.ValidatePath(path, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBellmanFordNegativeCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, -2)
+	g.AddEdge(2, 1, 1) // cycle 1->2->1 has weight -1
+	if _, ok := g.BellmanFord(0); ok {
+		t.Fatal("negative cycle not detected")
+	}
+}
+
+func TestBellmanFordMatchesDijkstraOnNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		m := n * 3
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Float64()*10)
+		}
+		d := g.Dijkstra(0)
+		b, ok := g.BellmanFord(0)
+		if !ok {
+			t.Fatal("spurious negative cycle")
+		}
+		for v := 0; v < n; v++ {
+			if math.Abs(d.Dist[v]-b.Dist[v]) > 1e-9 &&
+				!(math.IsInf(d.Dist[v], 1) && math.IsInf(b.Dist[v], 1)) {
+				t.Fatalf("trial %d: Dist[%d] dijkstra=%g bf=%g", trial, v, d.Dist[v], b.Dist[v])
+			}
+		}
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	if !g.Reachable(0, 2) {
+		t.Fatal("0 should reach 2")
+	}
+	if g.Reachable(0, 4) {
+		t.Fatal("0 should not reach 4")
+	}
+	if !g.Reachable(2, 2) {
+		t.Fatal("vertex reaches itself")
+	}
+	g.Disable(1)
+	if g.Reachable(0, 2) {
+		t.Fatal("disabled edge should break reachability")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond()
+	g.Disable(4)
+	c := g.Clone()
+	if c.N() != g.N() || c.M() != g.M() || !c.Disabled(4) {
+		t.Fatal("clone mismatch")
+	}
+	c.AddEdge(3, 0, 1)
+	c.Enable(4)
+	if g.M() != 5 || !g.Disabled(4) {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestValidatePathErrors(t *testing.T) {
+	g := diamond()
+	if err := g.ValidatePath([]int{0, 2, 4}, 0, 3); err != nil {
+		t.Fatalf("valid path rejected: %v", err)
+	}
+	if err := g.ValidatePath([]int{0, 3}, 0, 3); err != nil {
+		// 0->1 then 1->3: actually valid. Use a genuinely broken one below.
+		t.Fatalf("valid path rejected: %v", err)
+	}
+	if err := g.ValidatePath([]int{1, 0}, 0, 3); err == nil {
+		t.Fatal("disconnected walk accepted")
+	}
+	if err := g.ValidatePath([]int{0}, 0, 3); err == nil {
+		t.Fatal("wrong endpoint accepted")
+	}
+	if err := g.ValidatePath([]int{99}, 0, 3); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	g.Disable(0)
+	if err := g.ValidatePath([]int{0, 3}, 0, 3); err == nil {
+		t.Fatal("disabled edge accepted")
+	}
+}
+
+func TestSimplePathsDiamond(t *testing.T) {
+	g := diamond()
+	var paths [][]int
+	g.SimplePaths(0, 3, 0, func(p []int) bool {
+		paths = append(paths, append([]int(nil), p...))
+		return true
+	})
+	// 0-1-3, 0-1-2-3, 0-2-3
+	if len(paths) != 3 {
+		t.Fatalf("found %d paths, want 3", len(paths))
+	}
+	for _, p := range paths {
+		if err := g.ValidatePath(p, 0, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimplePathsMaxLenAndEarlyStop(t *testing.T) {
+	g := diamond()
+	count := 0
+	g.SimplePaths(0, 3, 2, func(p []int) bool {
+		count++
+		if len(p) > 2 {
+			t.Fatalf("path longer than maxLen: %v", p)
+		}
+		return true
+	})
+	if count != 2 { // 0-1-3 and 0-2-3
+		t.Fatalf("count = %d, want 2", count)
+	}
+	count = 0
+	g.SimplePaths(0, 3, 0, func(p []int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop count = %d", count)
+	}
+}
+
+// Property: on random DAG-ish graphs, every enumerated simple path is valid
+// and none repeats a vertex; Dijkstra distance <= weight of any simple path.
+func TestQuickSimplePathsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(5)
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1+rng.Float64())
+			}
+		}
+		d := g.Dijkstra(0)
+		ok := true
+		g.SimplePaths(0, n-1, 0, func(p []int) bool {
+			if err := g.ValidatePath(p, 0, n-1); err != nil {
+				ok = false
+				return false
+			}
+			if d.Dist[n-1] > g.PathWeight(p)+1e-9 {
+				ok = false
+				return false
+			}
+			seen := map[int]bool{0: true}
+			for _, id := range p {
+				v := g.Edge(id).To
+				if seen[v] {
+					ok = false
+					return false
+				}
+				seen[v] = true
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDijkstraRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1000
+	g := New(n)
+	for i := 0; i < 6*n; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Float64()*10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Dijkstra(i % n)
+	}
+}

@@ -1,0 +1,145 @@
+// Package ilp solves small mixed 0/1 integer programs by LP-relaxation
+// branch-and-bound, the exact machinery behind the paper's §3.1 formulation.
+// Designated binary variables are branched to {0, 1}; all other variables
+// stay continuous (the z_ijk/t_ijk conversion-cost terms of Eqs. 17–21).
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means the best integer-feasible solution was proven optimal.
+	Optimal Status = iota
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// NodeLimit means the search was truncated; Obj/X hold the incumbent if
+	// Found is true.
+	NodeLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case NodeLimit:
+		return "node-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Config tunes the search.
+type Config struct {
+	// MaxNodes caps the number of branch-and-bound nodes (0 = 200000).
+	MaxNodes int
+	// IntTol is the integrality tolerance (0 = 1e-6).
+	IntTol float64
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	// Found reports whether any integer-feasible incumbent was discovered.
+	Found bool
+	// X is the incumbent solution (valid when Found).
+	X []float64
+	// Obj is the incumbent objective (valid when Found).
+	Obj float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Solve minimizes the given problem with the listed variables restricted to
+// {0, 1}. Upper bounds x_j ≤ 1 for the binaries are added automatically.
+func Solve(base *lp.Problem, binaries []int, cfg Config) Result {
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = 200000
+	}
+	if cfg.IntTol == 0 {
+		cfg.IntTol = 1e-6
+	}
+	root := base.Clone()
+	for _, j := range binaries {
+		root.AddConstraint(map[int]float64{j: 1}, lp.LE, 1)
+	}
+
+	type node struct {
+		fix map[int]float64 // var -> 0 or 1
+	}
+	stack := []node{{fix: map[int]float64{}}}
+	res := Result{Status: Infeasible}
+	best := math.Inf(1)
+
+	for len(stack) > 0 {
+		if res.Nodes >= cfg.MaxNodes {
+			res.Status = NodeLimit
+			return res
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		prob := root.Clone()
+		for j, v := range nd.fix {
+			prob.AddConstraint(map[int]float64{j: 1}, lp.EQ, v)
+		}
+		sol := prob.Solve()
+		if sol.Status != lp.Optimal {
+			continue // infeasible or pathological subproblem: prune
+		}
+		if sol.Obj >= best-1e-9 {
+			continue // bound
+		}
+		// Find the most fractional binary.
+		branch := -1
+		worst := cfg.IntTol
+		for _, j := range binaries {
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f > worst {
+				worst = f
+				branch = j
+			}
+		}
+		if branch == -1 {
+			// Integer feasible: new incumbent.
+			best = sol.Obj
+			res.Found = true
+			res.Obj = sol.Obj
+			res.X = append([]float64(nil), sol.X...)
+			// Snap binaries exactly.
+			for _, j := range binaries {
+				res.X[j] = math.Round(res.X[j])
+			}
+			continue
+		}
+		// Branch: explore the rounding-nearest child last (popped first).
+		near := math.Round(sol.X[branch])
+		far := 1 - near
+		fixFar := cloneFix(nd.fix)
+		fixFar[branch] = far
+		stack = append(stack, node{fix: fixFar})
+		fixNear := cloneFix(nd.fix)
+		fixNear[branch] = near
+		stack = append(stack, node{fix: fixNear})
+	}
+	if res.Found {
+		res.Status = Optimal
+	}
+	return res
+}
+
+func cloneFix(m map[int]float64) map[int]float64 {
+	c := make(map[int]float64, len(m)+1)
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}

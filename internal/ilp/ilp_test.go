@@ -1,0 +1,195 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 6b + 4c s.t. a+b+c ≤ 2 (binary) → min −obj.
+	// Best pair: a+b = 16.
+	p := lp.NewProblem(3, []float64{-10, -6, -4})
+	p.AddConstraint(map[int]float64{0: 1, 1: 1, 2: 1}, lp.LE, 2)
+	r := Solve(p, []int{0, 1, 2}, Config{})
+	if r.Status != Optimal || !r.Found {
+		t.Fatalf("status = %v found=%v", r.Status, r.Found)
+	}
+	if !approx(r.Obj, -16) {
+		t.Fatalf("obj = %g, want -16", r.Obj)
+	}
+	if !approx(r.X[0], 1) || !approx(r.X[1], 1) || !approx(r.X[2], 0) {
+		t.Fatalf("x = %v", r.X)
+	}
+}
+
+func TestFractionalLPIntegerGap(t *testing.T) {
+	// LP relaxation of: min −(x+y), x+y ≤ 1.5, binary → LP gives 1.5,
+	// ILP must give 1 (one variable at 1).
+	p := lp.NewProblem(2, []float64{-1, -1})
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, lp.LE, 1.5)
+	r := Solve(p, []int{0, 1}, Config{})
+	if r.Status != Optimal || !approx(r.Obj, -1) {
+		t.Fatalf("status=%v obj=%g", r.Status, r.Obj)
+	}
+	if math.Abs(r.X[0]+r.X[1]-1) > 1e-6 {
+		t.Fatalf("x = %v, want exactly one selected", r.X)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	// x binary with x ≥ 0.4 and x ≤ 0.6: LP feasible, no integer point.
+	p := lp.NewProblem(1, []float64{1})
+	p.AddConstraint(map[int]float64{0: 1}, lp.GE, 0.4)
+	p.AddConstraint(map[int]float64{0: 1}, lp.LE, 0.6)
+	r := Solve(p, []int{0}, Config{})
+	if r.Status != Infeasible || r.Found {
+		t.Fatalf("status = %v found=%v", r.Status, r.Found)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min y subject to y ≥ 2.5·x, y ≥ 1−x, x binary, y continuous.
+	// x=0 → y ≥ 1; x=1 → y ≥ 2.5. Optimum y=1 at x=0.
+	p := lp.NewProblem(2, []float64{0, 1})
+	p.AddConstraint(map[int]float64{1: 1, 0: -2.5}, lp.GE, 0)
+	p.AddConstraint(map[int]float64{1: 1, 0: 1}, lp.GE, 1)
+	r := Solve(p, []int{0}, Config{})
+	if r.Status != Optimal || !approx(r.Obj, 1) {
+		t.Fatalf("status=%v obj=%g x=%v", r.Status, r.Obj, r.X)
+	}
+	if !approx(r.X[0], 0) {
+		t.Fatalf("x0 = %g, want 0", r.X[0])
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem requiring several nodes with MaxNodes=1 must return
+	// NodeLimit.
+	p := lp.NewProblem(2, []float64{-1, -1})
+	p.AddConstraint(map[int]float64{0: 1, 1: 1}, lp.LE, 1.5)
+	r := Solve(p, []int{0, 1}, Config{MaxNodes: 1})
+	if r.Status != NodeLimit {
+		t.Fatalf("status = %v, want node-limit", r.Status)
+	}
+}
+
+func TestAssignmentProblem(t *testing.T) {
+	// 3×3 assignment, cost matrix; optimum = 1+2+2 = 5 (perm 0→2? check):
+	// C = [[4,1,3],[2,0,5],[3,2,2]] → best perm (0→1,1→0,2→2)=1+2+2=5.
+	C := [][]float64{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}}
+	obj := make([]float64, 9)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			obj[i*3+j] = C[i][j]
+		}
+	}
+	p := lp.NewProblem(9, obj)
+	bins := make([]int, 9)
+	for k := range bins {
+		bins[k] = k
+	}
+	for i := 0; i < 3; i++ {
+		rowC := map[int]float64{}
+		colC := map[int]float64{}
+		for j := 0; j < 3; j++ {
+			rowC[i*3+j] = 1
+			colC[j*3+i] = 1
+		}
+		p.AddConstraint(rowC, lp.EQ, 1)
+		p.AddConstraint(colC, lp.EQ, 1)
+	}
+	r := Solve(p, bins, Config{})
+	if r.Status != Optimal || !approx(r.Obj, 5) {
+		t.Fatalf("status=%v obj=%g", r.Status, r.Obj)
+	}
+}
+
+// Cross-check against exhaustive enumeration on random small knapsacks.
+func TestRandomKnapsacksAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(6)
+		val := make([]float64, n)
+		wt := make([]float64, n)
+		for j := 0; j < n; j++ {
+			val[j] = 1 + rng.Float64()*9
+			wt[j] = 1 + rng.Float64()*9
+		}
+		capy := rng.Float64() * 20
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = -val[j]
+		}
+		p := lp.NewProblem(n, obj)
+		coef := map[int]float64{}
+		for j := 0; j < n; j++ {
+			coef[j] = wt[j]
+		}
+		p.AddConstraint(coef, lp.LE, capy)
+		bins := make([]int, n)
+		for j := range bins {
+			bins[j] = j
+		}
+		r := Solve(p, bins, Config{})
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, r.Status)
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					w += wt[j]
+					v += val[j]
+				}
+			}
+			if w <= capy && v > best {
+				best = v
+			}
+		}
+		if !approx(-r.Obj, best) {
+			t.Fatalf("trial %d: ilp %g, brute %g", trial, -r.Obj, best)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		NodeLimit: "node-limit", Status(7): "Status(7)",
+	} {
+		if s.String() != want {
+			t.Errorf("String = %q, want %q", s.String(), want)
+		}
+	}
+}
+
+func BenchmarkKnapsack12(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 12
+	obj := make([]float64, n)
+	coef := map[int]float64{}
+	for j := 0; j < n; j++ {
+		obj[j] = -(1 + rng.Float64()*9)
+		coef[j] = 1 + rng.Float64()*9
+	}
+	p := lp.NewProblem(n, obj)
+	p.AddConstraint(coef, lp.LE, 30)
+	bins := make([]int, n)
+	for j := range bins {
+		bins[j] = j
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := Solve(p, bins, Config{}); r.Status != Optimal {
+			b.Fatal(r.Status)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package lightpath
+
+import (
+	"repro/internal/graph"
+	"repro/internal/wdm"
+)
+
+// KShortest returns up to k semilightpaths from s to t in non-decreasing
+// Eq. 1 cost order, pairwise distinct in their (link, wavelength) sequences.
+// It materialises the layered (node × wavelength) graph and runs Yen's
+// algorithm on it; the k = 1 result coincides with Optimal. Used by
+// alternate-routing policies that keep a ranked route list per node pair.
+func KShortest(g *wdm.Network, s, t, k int) []*wdm.Semilightpath {
+	if k <= 0 || s == t || s < 0 || t < 0 || s >= g.Nodes() || t >= g.Nodes() {
+		return nil
+	}
+	w := g.W()
+	// Layered vertices: (v, λ) → v*w+λ, plus super-source and super-sink.
+	src := g.Nodes() * w
+	dst := src + 1
+	lg := graph.New(dst + 1)
+
+	// Source edges: leave s on any out-link/available wavelength. Aux
+	// carries link*w + λ so hops can be reconstructed.
+	for _, id := range g.Out(s) {
+		l := g.Link(id)
+		l.Avail().ForEach(func(lam int) bool {
+			lg.AddEdgeAux(src, l.To*w+lam, l.Cost(lam), id*w+lam)
+			return true
+		})
+	}
+	// Transit edges: (v, λ) → (u, λ') for each out-link of v, paying
+	// conversion + traversal.
+	for v := 0; v < g.Nodes(); v++ {
+		if v == s {
+			continue // paths re-entering s are not loopless anyway
+		}
+		conv := g.Converter(v)
+		for lam := 0; lam < w; lam++ {
+			from := v*w + lam
+			if v == t {
+				lg.AddEdgeAux(from, dst, 0, -1)
+				continue
+			}
+			for _, id := range g.Out(v) {
+				l := g.Link(id)
+				l.Avail().ForEach(func(nlam int) bool {
+					var cc float64
+					if nlam != lam {
+						if !conv.Allowed(lam, nlam) {
+							return true
+						}
+						cc = conv.Cost(lam, nlam)
+					}
+					lg.AddEdgeAux(from, l.To*w+nlam, cc+l.Cost(nlam), id*w+nlam)
+					return true
+				})
+			}
+		}
+	}
+
+	paths := lg.Yen(src, dst, k)
+	out := make([]*wdm.Semilightpath, 0, len(paths))
+	for _, p := range paths {
+		var hops []wdm.Hop
+		for _, eid := range p {
+			aux := lg.Edge(eid).Aux
+			if aux >= 0 {
+				hops = append(hops, wdm.Hop{Link: aux / w, Wavelength: aux % w})
+			}
+		}
+		if len(hops) > 0 {
+			out = append(out, &wdm.Semilightpath{Hops: hops})
+		}
+	}
+	return out
+}

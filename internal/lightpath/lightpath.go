@@ -1,0 +1,230 @@
+// Package lightpath finds optimal semilightpaths — minimum-cost paths with
+// wavelength assignment and conversion-switch settings per Eq. 1 — using the
+// layered-graph Dijkstra of Liang & Shen [13] and Chlamtac et al. [5]: the
+// search state is (node, incoming wavelength), transitions pay the conversion
+// cost c_v(λ, λ') plus the traversal cost w(e, λ'). With an indexed heap the
+// running time is O(nW² + mW + nW log(nW)), the term the paper's Theorem 1
+// charges to this step.
+package lightpath
+
+import (
+	"math"
+
+	"repro/internal/pq"
+	"repro/internal/wdm"
+)
+
+// Options configures the search.
+type Options struct {
+	// AllowedLinks, when non-nil, restricts the search to links for which it
+	// returns true. Used to search inside the induced subgraphs G_i of §3.3.
+	AllowedLinks func(linkID int) bool
+	// UseInstalled, when true, searches over Λ(e) instead of Λ_avail(e)
+	// (i.e. ignores current reservations). The routing algorithms always
+	// search the residual network (false).
+	UseInstalled bool
+}
+
+// Optimal returns a minimum-cost semilightpath from s to t in the residual
+// network, its cost, and whether one exists. The path is optimal over all
+// walks from s to t given the conversion tables; since all costs are
+// non-negative the optimum is realized by a path.
+func Optimal(g *wdm.Network, s, t int, opts *Options) (*wdm.Semilightpath, float64, bool) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if s == t || s < 0 || t < 0 || s >= g.Nodes() || t >= g.Nodes() {
+		return nil, math.Inf(1), false
+	}
+	w := g.W()
+	numStates := g.Nodes() * w
+
+	dist := make([]float64, numStates)
+	prevState := make([]int, numStates)
+	prevLink := make([]int, numStates)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevState[i] = -1
+		prevLink[i] = -1
+	}
+
+	lamSet := func(l *wdm.Link) interface{ ForEach(func(int) bool) } {
+		if opts.UseInstalled {
+			return l.Lambda()
+		}
+		return l.Avail()
+	}
+
+	h := pq.NewIndexedHeap(numStates)
+
+	// Seed: leave s on each out-link/wavelength; the source imposes no
+	// incoming wavelength, so no conversion cost is paid at s.
+	for _, id := range g.Out(s) {
+		if opts.AllowedLinks != nil && !opts.AllowedLinks(id) {
+			continue
+		}
+		l := g.Link(id)
+		lamSet(l).ForEach(func(lam int) bool {
+			st := l.To*w + lam
+			c := l.Cost(lam)
+			if c < dist[st] {
+				dist[st] = c
+				prevState[st] = -1
+				prevLink[st] = id
+				h.PushOrDecrease(st, c)
+			}
+			return true
+		})
+	}
+
+	best := math.Inf(1)
+	bestState := -1
+	for !h.Empty() {
+		st, d := h.Pop()
+		if d > dist[st] {
+			continue
+		}
+		v, lam := st/w, st%w
+		if v == t {
+			if d < best {
+				best = d
+				bestState = st
+			}
+			// States are popped in non-decreasing distance order, so the
+			// first t-state popped is optimal.
+			break
+		}
+		conv := g.Converter(v)
+		for _, id := range g.Out(v) {
+			if opts.AllowedLinks != nil && !opts.AllowedLinks(id) {
+				continue
+			}
+			l := g.Link(id)
+			lamSet(l).ForEach(func(nlam int) bool {
+				var cc float64
+				if nlam != lam {
+					if !conv.Allowed(lam, nlam) {
+						return true
+					}
+					cc = conv.Cost(lam, nlam)
+				}
+				nd := d + cc + l.Cost(nlam)
+				nst := l.To*w + nlam
+				if nd < dist[nst] {
+					dist[nst] = nd
+					prevState[nst] = st
+					prevLink[nst] = id
+					h.PushOrDecrease(nst, nd)
+				}
+				return true
+			})
+		}
+	}
+
+	if bestState < 0 {
+		return nil, math.Inf(1), false
+	}
+
+	// Reconstruct hops back from bestState.
+	var rev []wdm.Hop
+	st := bestState
+	for st >= 0 {
+		rev = append(rev, wdm.Hop{Link: prevLink[st], Wavelength: st % w})
+		st = prevState[st]
+	}
+	hops := make([]wdm.Hop, len(rev))
+	for i := range rev {
+		hops[i] = rev[len(rev)-1-i]
+	}
+	return &wdm.Semilightpath{Hops: hops}, best, true
+}
+
+// OptimalInSubgraph runs Optimal restricted to the given set of link IDs —
+// the G_i search of §3.3 (Lemma 2 refinement).
+func OptimalInSubgraph(g *wdm.Network, s, t int, links map[int]bool) (*wdm.Semilightpath, float64, bool) {
+	return Optimal(g, s, t, &Options{AllowedLinks: func(id int) bool { return links[id] }})
+}
+
+// AssignWavelengths finds the optimal wavelength assignment for a FIXED
+// physical route (sequence of link IDs) by dynamic programming over
+// (position, wavelength) states, and returns the resulting semilightpath and
+// its Eq. 1 cost. Exists is false when no hop-by-hop assignment with allowed
+// conversions is possible. Only currently-available wavelengths are used.
+//
+// This is the oracle used by the exhaustive exact solver: once the two
+// edge-disjoint routes are fixed, wavelength assignment decomposes per path.
+func AssignWavelengths(g *wdm.Network, route []int) (*wdm.Semilightpath, float64, bool) {
+	if len(route) == 0 {
+		return nil, math.Inf(1), false
+	}
+	w := g.W()
+	// dp[lam] = best cost of the prefix ending with wavelength lam on the
+	// current link.
+	dp := make([]float64, w)
+	prev := make([][]int, len(route)) // prev[i][lam] = predecessor wavelength
+	for i := range prev {
+		prev[i] = make([]int, w)
+		for j := range prev[i] {
+			prev[i][j] = -1
+		}
+	}
+	for lam := 0; lam < w; lam++ {
+		dp[lam] = math.Inf(1)
+	}
+	first := g.Link(route[0])
+	first.Avail().ForEach(func(lam int) bool {
+		dp[lam] = first.Cost(lam)
+		return true
+	})
+	ndp := make([]float64, w)
+	for i := 1; i < len(route); i++ {
+		l := g.Link(route[i])
+		prevLink := g.Link(route[i-1])
+		if prevLink.To != l.From {
+			return nil, math.Inf(1), false // not a connected route
+		}
+		conv := g.Converter(l.From)
+		for lam := 0; lam < w; lam++ {
+			ndp[lam] = math.Inf(1)
+		}
+		l.Avail().ForEach(func(nlam int) bool {
+			base := l.Cost(nlam)
+			for lam := 0; lam < w; lam++ {
+				if math.IsInf(dp[lam], 1) {
+					continue
+				}
+				var cc float64
+				if lam != nlam {
+					if !conv.Allowed(lam, nlam) {
+						continue
+					}
+					cc = conv.Cost(lam, nlam)
+				}
+				if c := dp[lam] + cc + base; c < ndp[nlam] {
+					ndp[nlam] = c
+					prev[i][nlam] = lam
+				}
+			}
+			return true
+		})
+		dp, ndp = ndp, dp
+	}
+	best := math.Inf(1)
+	bestLam := -1
+	for lam := 0; lam < w; lam++ {
+		if dp[lam] < best {
+			best = dp[lam]
+			bestLam = lam
+		}
+	}
+	if bestLam < 0 {
+		return nil, math.Inf(1), false
+	}
+	hops := make([]wdm.Hop, len(route))
+	lam := bestLam
+	for i := len(route) - 1; i >= 0; i-- {
+		hops[i] = wdm.Hop{Link: route[i], Wavelength: lam}
+		lam = prev[i][lam]
+	}
+	return &wdm.Semilightpath{Hops: hops}, best, true
+}

@@ -1,0 +1,365 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize  c·x   subject to   a_i·x {≤,=,≥} b_i,   x ≥ 0.
+//
+// It exists to solve the LP relaxations of the paper's §3.1 integer program
+// inside the branch-and-bound solver (package ilp). The implementation uses
+// Dantzig pricing with an automatic switch to Bland's rule to guarantee
+// termination, and a Phase-1 artificial-variable start.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	// LE is a_i·x ≤ b_i.
+	LE Rel = iota
+	// GE is a_i·x ≥ b_i.
+	GE
+	// EQ is a_i·x = b_i.
+	EQ
+)
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+	// IterationLimit means the pivot cap was exhausted (should not occur
+	// with Bland's rule; reported defensively).
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+type constraint struct {
+	coef map[int]float64
+	rel  Rel
+	rhs  float64
+}
+
+// Problem is a linear program under construction. Create with NewProblem,
+// then add constraints and call Solve.
+type Problem struct {
+	nvars int
+	obj   []float64
+	cons  []constraint
+}
+
+// NewProblem returns a problem with nvars structural variables (all ≥ 0)
+// and the given minimization objective (length nvars).
+func NewProblem(nvars int, objective []float64) *Problem {
+	if len(objective) != nvars {
+		panic("lp: objective length mismatch")
+	}
+	obj := append([]float64(nil), objective...)
+	return &Problem{nvars: nvars, obj: obj}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddConstraint appends the constraint Σ coef[j]·x_j rel rhs. Variable
+// indices must lie in [0, NumVars()).
+func (p *Problem) AddConstraint(coef map[int]float64, rel Rel, rhs float64) {
+	cp := make(map[int]float64, len(coef))
+	for j, v := range coef {
+		if j < 0 || j >= p.nvars {
+			panic(fmt.Sprintf("lp: variable %d out of range", j))
+		}
+		if v != 0 {
+			cp[j] = v
+		}
+	}
+	p.cons = append(p.cons, constraint{coef: cp, rel: rel, rhs: rhs})
+}
+
+// Clone returns an independent copy of the problem (constraints included).
+func (p *Problem) Clone() *Problem {
+	c := NewProblem(p.nvars, p.obj)
+	c.cons = make([]constraint, len(p.cons))
+	for i, con := range p.cons {
+		cp := make(map[int]float64, len(con.coef))
+		for j, v := range con.coef {
+			cp[j] = v
+		}
+		c.cons[i] = constraint{coef: cp, rel: con.rel, rhs: con.rhs}
+	}
+	return c
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status Status
+	// X holds the structural variable values (valid when Status == Optimal).
+	X []float64
+	// Obj is the objective value (valid when Status == Optimal).
+	Obj float64
+}
+
+const (
+	eps      = 1e-9
+	pivotCap = 200000
+	// blandAfter switches pricing to Bland's rule after this many Dantzig
+	// pivots to break any cycling.
+	blandAfter = 5000
+)
+
+// Solve runs two-phase primal simplex and returns the solution.
+func (p *Problem) Solve() Solution {
+	m := len(p.cons)
+	// Column layout: [0,nvars) structural, then one slack/surplus per
+	// inequality row, then one artificial per row that needs it.
+	nslack := 0
+	for _, c := range p.cons {
+		if c.rel != EQ {
+			nslack++
+		}
+	}
+	total := p.nvars + nslack // artificials appended after
+
+	// Build rows with b ≥ 0.
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	basis := make([]int, m)
+	art := []int{}
+	slackIdx := p.nvars
+	for i, c := range p.cons {
+		row := make([]float64, total)
+		for j, v := range c.coef {
+			row[j] = v
+		}
+		b := c.rhs
+		rel := c.rel
+		if b < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			row[slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			basis[i] = -1 // needs artificial
+			slackIdx++
+		case EQ:
+			basis[i] = -1
+		}
+		rows[i] = row
+		rhs[i] = b
+	}
+	// Append artificial columns for rows without a basic variable.
+	for i := range rows {
+		if basis[i] == -1 {
+			for k := range rows {
+				rows[k] = append(rows[k], 0)
+			}
+			col := total
+			total++
+			rows[i][col] = 1
+			basis[i] = col
+			art = append(art, col)
+		}
+	}
+
+	t := &tableau{rows: rows, rhs: rhs, basis: basis, ncols: total}
+
+	if len(art) > 0 {
+		// Phase 1: minimize the sum of artificials.
+		phase1 := make([]float64, total)
+		for _, a := range art {
+			phase1[a] = 1
+		}
+		status, obj := t.optimize(phase1, nil)
+		if status != Optimal {
+			return Solution{Status: IterationLimit}
+		}
+		if obj > 1e-7 {
+			return Solution{Status: Infeasible}
+		}
+		// Pivot remaining artificials out of the basis when possible.
+		isArt := make([]bool, total)
+		for _, a := range art {
+			isArt[a] = true
+		}
+		for i := range t.basis {
+			if !isArt[t.basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < p.nvars+nslack; j++ {
+				if math.Abs(t.rows[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			_ = pivoted // a zero row: the constraint is redundant; harmless
+		}
+		t.forbidden = isArt
+	}
+
+	// Phase 2: original objective.
+	phase2 := make([]float64, total)
+	copy(phase2, p.obj)
+	status, obj := t.optimize(phase2, t.forbidden)
+	if status != Optimal {
+		return Solution{Status: status}
+	}
+	x := make([]float64, p.nvars)
+	for i, bv := range t.basis {
+		if bv < p.nvars {
+			x[bv] = t.rhs[i]
+		}
+	}
+	return Solution{Status: Optimal, X: x, Obj: obj}
+}
+
+// tableau holds the simplex working state: constraint rows in basic form.
+type tableau struct {
+	rows      [][]float64
+	rhs       []float64
+	basis     []int
+	ncols     int
+	forbidden []bool // columns barred from entering (spent artificials)
+}
+
+// pivot makes column col basic in row r.
+func (t *tableau) pivot(r, col int) {
+	pr := t.rows[r]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	t.rhs[r] *= inv
+	pr[col] = 1 // exactness
+	for i := range t.rows {
+		if i == r {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+		t.rhs[i] -= f * t.rhs[r]
+	}
+	t.basis[r] = col
+}
+
+// optimize minimizes cost·x from the current basic feasible point. It
+// returns the status and the optimal objective value.
+func (t *tableau) optimize(cost []float64, forbidden []bool) (Status, float64) {
+	m := len(t.rows)
+	// Reduced costs: z_j = cost_j − cB·B⁻¹A_j. Maintain them directly by
+	// pricing from scratch each iteration over a working objective row,
+	// updated by pivots like any other row.
+	objRow := append([]float64(nil), cost...)
+	objVal := 0.0
+	// Price out current basis.
+	for i := 0; i < m; i++ {
+		bv := t.basis[i]
+		f := objRow[bv]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := range objRow {
+			objRow[j] -= f * ri[j]
+		}
+		objVal -= f * t.rhs[i]
+	}
+	for iter := 0; iter < pivotCap; iter++ {
+		bland := iter >= blandAfter
+		// Entering column.
+		enter := -1
+		best := -eps
+		for j := 0; j < t.ncols; j++ {
+			if forbidden != nil && forbidden[j] {
+				continue
+			}
+			if objRow[j] < -eps {
+				if bland {
+					enter = j
+					break
+				}
+				if objRow[j] < best {
+					best = objRow[j]
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal, -objVal // objVal accumulates −z
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t.rows[i][enter]
+			if a > eps {
+				r := t.rhs[i] / a
+				if r < bestRatio-eps || (r < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded, 0
+		}
+		t.pivot(leave, enter)
+		// Update objective row.
+		f := objRow[enter]
+		if f != 0 {
+			pr := t.rows[leave]
+			for j := range objRow {
+				objRow[j] -= f * pr[j]
+			}
+			objRow[enter] = 0
+			objVal -= f * t.rhs[leave]
+		}
+	}
+	return IterationLimit, 0
+}

@@ -1,0 +1,680 @@
+// Package netsim is an event-driven simulator for the paper's dynamic
+// traffic model (§2): connection requests arrive as a Poisson stream, are
+// routed one by one (established immediately or dropped), and depart after
+// exponential holding times. It adds the two failure-handling disciplines of
+// §1 — the *activate* approach (a backup semilightpath is reserved with the
+// primary and switched in instantly on a link failure) and the *passive*
+// approach (only the primary is established; restoration is attempted after
+// the failure, and may fail for lack of resources) — plus the
+// reconfiguration accounting that motivates §4: whenever the network load ρ
+// crosses a threshold, a reconfiguration event reroutes the connections on
+// the most loaded link.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lightpath"
+	"repro/internal/pq"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// Algorithm selects the routing discipline for arrivals.
+type Algorithm int
+
+const (
+	// MinCost is ApproxMinCost (§3.3) — cost only.
+	MinCost Algorithm = iota
+	// MinLoad is Find_Two_Paths_MinCog (§4.1) — load only.
+	MinLoad
+	// MinLoadCost is the two-phase §4.2 algorithm — load then cost.
+	MinLoadCost
+	// TwoStep is the naive shortest-then-remove baseline.
+	TwoStep
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case MinCost:
+		return "min-cost"
+	case MinLoad:
+		return "min-load"
+	case MinLoadCost:
+		return "min-load-cost"
+	case TwoStep:
+		return "two-step"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// route dispatches to the core router.
+func (a Algorithm) route(net *wdm.Network, s, t int, opts *core.Options) (*core.Result, bool) {
+	switch a {
+	case MinCost:
+		return core.ApproxMinCost(net, s, t, opts)
+	case MinLoad:
+		return core.MinLoad(net, s, t, opts)
+	case MinLoadCost:
+		return core.MinLoadCost(net, s, t, opts)
+	case TwoStep:
+		return core.TwoStepMinCost(net, s, t, opts)
+	}
+	panic("netsim: unknown algorithm")
+}
+
+// Restoration selects the failure-handling discipline.
+type Restoration int
+
+const (
+	// Active reserves an edge-disjoint backup with every primary and
+	// switches over instantly on failure.
+	Active Restoration = iota
+	// Passive establishes only the primary and re-routes after a failure if
+	// resources permit.
+	Passive
+)
+
+func (r Restoration) String() string {
+	if r == Passive {
+		return "passive"
+	}
+	return "active"
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	Algorithm   Algorithm
+	Restoration Restoration
+	Opts        *core.Options
+
+	// RouteFunc, when non-nil, overrides Algorithm for arrivals — the hook
+	// for custom disciplines such as fixed-alternate routing
+	// (core.AlternateTable.Route) or node-disjoint protection. It receives
+	// the simulator's private network clone.
+	RouteFunc func(net *wdm.Network, s, t int) (*core.Result, bool)
+
+	// FailureRate is the Poisson rate of single-link failure events
+	// (0 disables failures).
+	FailureRate float64
+	// FailureLinks, when non-empty, makes failure events target these links
+	// in round-robin order instead of uniformly random up links —
+	// deterministic failure scenarios for tests and what-if studies.
+	FailureLinks []int
+	// RepairTime is how long a failed link stays down (default 10).
+	RepairTime float64
+	// Seed drives failure-injection randomness.
+	Seed int64
+
+	// ReconfigThreshold triggers a reconfiguration when the network load ρ
+	// reaches it (0 disables reconfiguration accounting).
+	ReconfigThreshold float64
+	// ReconfigCooldown is the minimum time between reconfigurations
+	// (default 1).
+	ReconfigCooldown float64
+
+	// WarmupRequests excludes the first K arrivals from the offered/
+	// accepted/blocked counters and the cost/load streams (standard
+	// transient-removal methodology); the requests are still routed and
+	// occupy capacity.
+	WarmupRequests int
+
+	// Trace, when non-nil, receives a structured event stream (arrivals,
+	// blocks, failures, switchovers, reconfigurations, …) for offline
+	// analysis. See package trace.
+	Trace trace.Recorder
+
+	// Reprotect, under Active restoration, re-establishes a fresh backup
+	// after a switchover or a degraded backup, so connections do not stay
+	// unprotected until departure (a variant the paper's §1 survey calls
+	// out as reducing vulnerability to subsequent failures).
+	Reprotect bool
+}
+
+// Metrics aggregates a run.
+type Metrics struct {
+	Offered  int
+	Accepted int
+	Blocked  int
+
+	Cost     stats.Stream // Eq. 1 cost sum of accepted pairs
+	PathLoad stats.Stream // per-request (U+1)/N load contribution
+	Hops     stats.Stream // primary-path hop count
+
+	// Failure accounting.
+	FailureEvents  int
+	AffectedConns  int
+	Recovered      int
+	RecoveryFailed int
+	BackupLost     int
+	// RecoveryWork counts links newly signalled during recovery (0 per
+	// switchover for active restoration; new-path length for passive) — the
+	// recovery-delay proxy of E5.
+	RecoveryWork stats.Stream
+	// Availability is the fraction of each finite-holding connection's
+	// requested duration actually served (1.0 unless the connection was
+	// dropped by an unrecovered failure).
+	Availability stats.Stream
+
+	// Re-protection accounting (Reprotect only).
+	ReprotectOK     int
+	ReprotectFailed int
+
+	// Reconfiguration accounting.
+	Reconfigs      int
+	ReroutedConns  int
+	MaxNetworkLoad float64
+	// LoadIntegral is ∫ρ dt; MeanLoad = LoadIntegral / horizon.
+	LoadIntegral float64
+	Horizon      float64
+}
+
+// BlockingProbability returns Blocked/Offered.
+func (m *Metrics) BlockingProbability() float64 {
+	if m.Offered == 0 {
+		return 0
+	}
+	return float64(m.Blocked) / float64(m.Offered)
+}
+
+// MeanLoad returns the time-averaged network load.
+func (m *Metrics) MeanLoad() float64 {
+	if m.Horizon == 0 {
+		return 0
+	}
+	return m.LoadIntegral / m.Horizon
+}
+
+// conn is a live connection.
+type conn struct {
+	id      int
+	s, d    int
+	primary *wdm.Semilightpath
+	backup  *wdm.Semilightpath // nil under Passive or after a switchover
+	arrived float64
+	holding float64 // +Inf for permanent connections
+}
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evDeparture
+	evFailure
+	evRepair
+)
+
+type event struct {
+	kind eventKind
+	time float64
+	req  workload.Request // evArrival
+	conn int              // evDeparture
+	link int              // evRepair
+}
+
+// Sim is a single simulation instance. Create with New, drive with Run.
+type Sim struct {
+	net *wdm.Network
+	cfg Config
+	rng *rand.Rand
+
+	events []event
+	q      *pq.PairingHeap
+
+	conns        map[int]*conn
+	down         []bool
+	forced       [][]wdm.Wavelength // force-locked wavelengths per down link
+	lastReconfig float64
+	arrivals     int  // total arrivals processed (warm-up accounting)
+	failIdx      int  // round-robin cursor into cfg.FailureLinks
+	overTh       bool // ρ was ≥ threshold at the last check (crossing detector)
+	lastT        float64
+	m            Metrics
+}
+
+// New returns a simulator over a private clone of the network.
+func New(net *wdm.Network, cfg Config) *Sim {
+	if cfg.RepairTime == 0 {
+		cfg.RepairTime = 10
+	}
+	if cfg.ReconfigCooldown == 0 {
+		cfg.ReconfigCooldown = 1
+	}
+	return &Sim{
+		net:          net.Clone(),
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		q:            pq.NewPairingHeap(),
+		conns:        map[int]*conn{},
+		down:         make([]bool, net.Links()),
+		forced:       make([][]wdm.Wavelength, net.Links()),
+		lastReconfig: math.Inf(-1),
+	}
+}
+
+// Network exposes the simulator's network (for inspection in tests and
+// examples; mutating it mid-run is undefined).
+func (s *Sim) Network() *wdm.Network { return s.net }
+
+func (s *Sim) push(e event) {
+	s.events = append(s.events, e)
+	s.q.Push(len(s.events)-1, e.time)
+}
+
+// emit records a trace event when tracing is enabled.
+func (s *Sim) emit(kind trace.Kind, connID, link int, detail string) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace.Record(trace.Event{Time: s.lastT, Kind: kind, Conn: connID, Link: link, Detail: detail})
+}
+
+// Run processes the request stream to completion (all arrivals, departures,
+// failures and repairs) and returns the metrics.
+func (s *Sim) Run(reqs []workload.Request) *Metrics {
+	horizon := 0.0
+	for _, r := range reqs {
+		s.push(event{kind: evArrival, time: r.Arrival, req: r})
+		if d := r.Departure(); !math.IsInf(d, 1) && d > horizon {
+			horizon = d
+		}
+		if r.Arrival > horizon {
+			horizon = r.Arrival
+		}
+	}
+	// Pre-schedule failure events over the horizon.
+	if s.cfg.FailureRate > 0 && horizon > 0 {
+		t := 0.0
+		for {
+			t += s.rng.ExpFloat64() / s.cfg.FailureRate
+			if t >= horizon {
+				break
+			}
+			s.push(event{kind: evFailure, time: t})
+		}
+	}
+
+	for !s.q.Empty() {
+		idx, _ := s.q.Pop()
+		e := s.events[idx]
+		s.advanceClock(e.time)
+		switch e.kind {
+		case evArrival:
+			s.handleArrival(e.req)
+		case evDeparture:
+			s.handleDeparture(e.conn)
+		case evFailure:
+			s.handleFailure()
+		case evRepair:
+			s.handleRepair(e.link)
+		}
+		s.maybeReconfigure(e.time)
+	}
+	s.m.Horizon = s.lastT
+	return &s.m
+}
+
+// advanceClock integrates ρ over the elapsed interval.
+func (s *Sim) advanceClock(t float64) {
+	rho := s.net.NetworkLoad()
+	if rho > s.m.MaxNetworkLoad {
+		s.m.MaxNetworkLoad = rho
+	}
+	if t > s.lastT {
+		s.m.LoadIntegral += rho * (t - s.lastT)
+		s.lastT = t
+	}
+}
+
+func (s *Sim) handleArrival(r workload.Request) {
+	s.arrivals++
+	measured := s.arrivals > s.cfg.WarmupRequests
+	if measured {
+		s.m.Offered++
+	}
+	s.emit(trace.Arrival, r.ID, -1, fmt.Sprintf("%d->%d", r.Src, r.Dst))
+	c := &conn{id: r.ID, s: r.Src, d: r.Dst}
+	switch s.cfg.Restoration {
+	case Active:
+		route := s.cfg.Algorithm.route
+		if s.cfg.RouteFunc != nil {
+			route = func(net *wdm.Network, a, b int, _ *core.Options) (*core.Result, bool) {
+				return s.cfg.RouteFunc(net, a, b)
+			}
+		}
+		res, ok := route(s.net, r.Src, r.Dst, s.cfg.Opts)
+		if !ok || core.Establish(s.net, res) != nil {
+			if measured {
+				s.m.Blocked++
+			}
+			s.emit(trace.Block, r.ID, -1, "")
+			return
+		}
+		c.primary, c.backup = res.Primary, res.Backup
+		if measured {
+			s.m.Cost.Add(res.Cost)
+			s.m.PathLoad.Add(res.PathLoad)
+		}
+		s.emit(trace.Accept, r.ID, -1, fmt.Sprintf("cost=%.4g", res.Cost))
+	case Passive:
+		p, cost, ok := lightpath.Optimal(s.net, r.Src, r.Dst, nil)
+		if !ok || s.net.Reserve(p) != nil {
+			if measured {
+				s.m.Blocked++
+			}
+			s.emit(trace.Block, r.ID, -1, "")
+			return
+		}
+		c.primary = p
+		if measured {
+			s.m.Cost.Add(cost)
+		}
+		s.emit(trace.Accept, r.ID, -1, fmt.Sprintf("cost=%.4g", cost))
+	}
+	if measured {
+		s.m.Accepted++
+		s.m.Hops.Add(float64(c.primary.Len()))
+	}
+	c.arrived = r.Arrival
+	c.holding = r.Holding
+	s.conns[c.id] = c
+	if d := r.Departure(); !math.IsInf(d, 1) {
+		s.push(event{kind: evDeparture, time: d, conn: c.id})
+	}
+}
+
+func (s *Sim) handleDeparture(id int) {
+	c, ok := s.conns[id]
+	if !ok {
+		return // dropped earlier by an unrecovered failure
+	}
+	delete(s.conns, id)
+	s.emit(trace.Depart, id, -1, "")
+	s.m.Availability.Add(1)
+	s.releasePath(c.primary)
+	if c.backup != nil {
+		s.releasePath(c.backup)
+	}
+}
+
+// releasePath returns a path's wavelengths, except that hops on currently
+// down links stay locked (transferred to the forced set) until repair.
+func (s *Sim) releasePath(p *wdm.Semilightpath) {
+	for _, h := range p.Hops {
+		if s.down[h.Link] {
+			s.forced[h.Link] = append(s.forced[h.Link], h.Wavelength)
+			continue
+		}
+		if err := s.net.Release(h.Link, h.Wavelength); err != nil {
+			panic("netsim: inconsistent release: " + err.Error())
+		}
+	}
+}
+
+// handleFailure picks a random up link, takes it down, and restores the
+// affected connections per the configured discipline.
+func (s *Sim) handleFailure() {
+	link := -1
+	if n := len(s.cfg.FailureLinks); n > 0 {
+		for tries := 0; tries < n; tries++ {
+			cand := s.cfg.FailureLinks[s.failIdx%n]
+			s.failIdx++
+			if !s.down[cand] {
+				link = cand
+				break
+			}
+		}
+		if link < 0 {
+			return
+		}
+	} else {
+		var up []int
+		for id := 0; id < s.net.Links(); id++ {
+			if !s.down[id] {
+				up = append(up, id)
+			}
+		}
+		if len(up) == 0 {
+			return
+		}
+		link = up[s.rng.Intn(len(up))]
+	}
+	s.m.FailureEvents++
+	s.emit(trace.Failure, -1, link, "")
+	s.down[link] = true
+	// Quarantine the link: lock all still-available wavelengths.
+	l := s.net.Link(link)
+	for _, lam := range l.Avail().Slice() {
+		if err := s.net.Use(link, lam); err != nil {
+			panic("netsim: quarantine failed: " + err.Error())
+		}
+		s.forced[link] = append(s.forced[link], lam)
+	}
+	s.push(event{kind: evRepair, time: s.lastT + s.cfg.RepairTime, link: link})
+
+	// Restore affected connections (deterministic order).
+	ids := make([]int, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := s.conns[id]
+		primaryHit := pathUses(c.primary, link)
+		backupHit := c.backup != nil && pathUses(c.backup, link)
+		switch {
+		case primaryHit:
+			s.m.AffectedConns++
+			s.restore(c, link)
+		case backupHit:
+			// Backup degraded: release it; the connection keeps running
+			// unprotected (or re-protected when configured).
+			s.m.BackupLost++
+			s.releasePath(c.backup)
+			c.backup = nil
+			s.reprotect(c)
+		}
+	}
+}
+
+// reprotect tries to reserve a fresh backup, edge-disjoint from the current
+// primary, for a connection that lost its protection.
+func (s *Sim) reprotect(c *conn) {
+	if !s.cfg.Reprotect || c.backup != nil || c.primary == nil {
+		return
+	}
+	used := make(map[int]bool, c.primary.Len())
+	for _, h := range c.primary.Hops {
+		used[h.Link] = true
+	}
+	p, _, ok := lightpath.Optimal(s.net, c.s, c.d, &lightpath.Options{
+		AllowedLinks: func(id int) bool { return !used[id] },
+	})
+	if !ok || s.net.Reserve(p) != nil {
+		s.m.ReprotectFailed++
+		return
+	}
+	c.backup = p
+	s.m.ReprotectOK++
+	s.emit(trace.Reprotect, c.id, -1, "")
+}
+
+// restore recovers a connection whose primary crossed the failed link.
+func (s *Sim) restore(c *conn, failedLink int) {
+	s.releasePath(c.primary)
+	c.primary = nil
+	if c.backup != nil {
+		// Activate approach: instant switchover to the pre-reserved backup,
+		// which is edge-disjoint from the failed primary. It may itself
+		// cross a link downed by an earlier overlapping failure.
+		if pathDown(c.backup, s.down) {
+			s.releasePath(c.backup)
+			c.backup = nil
+			s.dropConn(c)
+			return
+		}
+		c.primary, c.backup = c.backup, nil
+		s.m.Recovered++
+		s.m.RecoveryWork.Add(0)
+		s.emit(trace.Switchover, c.id, failedLink, "")
+		s.reprotect(c)
+		return
+	}
+	// Passive approach: compute and signal a fresh route now.
+	p, _, ok := lightpath.Optimal(s.net, c.s, c.d, nil)
+	if !ok || s.net.Reserve(p) != nil {
+		s.dropConn(c)
+		return
+	}
+	c.primary = p
+	s.m.Recovered++
+	s.m.RecoveryWork.Add(float64(p.Len()))
+	s.emit(trace.Reroute, c.id, failedLink, "passive-restore")
+}
+
+func (s *Sim) dropConn(c *conn) {
+	s.m.RecoveryFailed++
+	delete(s.conns, c.id)
+	if !math.IsInf(c.holding, 1) && c.holding > 0 {
+		served := (s.lastT - c.arrived) / c.holding
+		if served > 1 {
+			served = 1
+		}
+		if served < 0 {
+			served = 0
+		}
+		s.m.Availability.Add(served)
+	}
+	s.emit(trace.Drop, c.id, -1, "")
+}
+
+func (s *Sim) handleRepair(link int) {
+	s.emit(trace.Repair, -1, link, "")
+	s.down[link] = false
+	for _, lam := range s.forced[link] {
+		if err := s.net.Release(link, lam); err != nil {
+			panic("netsim: repair release failed: " + err.Error())
+		}
+	}
+	s.forced[link] = nil
+}
+
+// maybeReconfigure counts and performs a reconfiguration when ρ crosses the
+// threshold from below: the connections riding the most loaded link are
+// rerouted with the load-minimising algorithm. This is the §4 accounting —
+// load-aware routing keeps ρ below the threshold longer, so it crosses (and
+// reconfigures) less often.
+func (s *Sim) maybeReconfigure(t float64) {
+	th := s.cfg.ReconfigThreshold
+	if th <= 0 {
+		return
+	}
+	rho := s.net.NetworkLoad()
+	if rho < th {
+		s.overTh = false
+		return
+	}
+	if s.overTh {
+		return // this excursion above the threshold was already handled
+	}
+	if t-s.lastReconfig < s.cfg.ReconfigCooldown {
+		return // keep the crossing pending until the cooldown expires
+	}
+	s.overTh = true
+	s.lastReconfig = t
+	s.m.Reconfigs++
+	s.emit(trace.Reconfig, -1, -1, fmt.Sprintf("rho=%.3f", rho))
+	// Most loaded link.
+	worst, rho := -1, -1.0
+	for id := 0; id < s.net.Links(); id++ {
+		if s.down[id] {
+			continue
+		}
+		if r := s.net.Link(id).Load(); r > rho {
+			rho = r
+			worst = id
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	ids := make([]int, 0, len(s.conns))
+	for id, c := range s.conns {
+		if pathUses(c.primary, worst) || (c.backup != nil && pathUses(c.backup, worst)) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := s.conns[id]
+		oldP, oldB := c.primary, c.backup
+		s.releasePath(oldP)
+		if oldB != nil {
+			s.releasePath(oldB)
+		}
+		res, ok := core.MinLoad(s.net, c.s, c.d, s.cfg.Opts)
+		if ok && core.Establish(s.net, res) == nil {
+			c.primary, c.backup = res.Primary, res.Backup
+			s.m.ReroutedConns++
+			s.emit(trace.Reroute, c.id, worst, "reconfig")
+			continue
+		}
+		// Reroute failed: put the old paths back (nothing else touched the
+		// network since release, so this cannot fail unless a path crossed
+		// a down link, whose hop stayed locked in the forced set).
+		s.rereserve(oldP)
+		if oldB != nil {
+			s.rereserve(oldB)
+		}
+		c.primary, c.backup = oldP, oldB
+	}
+}
+
+// rereserve undoes releasePath: hops on down links were kept in the forced
+// set and must be reclaimed from it rather than re-used.
+func (s *Sim) rereserve(p *wdm.Semilightpath) {
+	for _, h := range p.Hops {
+		if s.down[h.Link] {
+			// The wavelength is still locked in the forced set; hand it
+			// back to the connection by removing the forced bookkeeping.
+			fl := s.forced[h.Link]
+			for i, lam := range fl {
+				if lam == h.Wavelength {
+					s.forced[h.Link] = append(fl[:i], fl[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		if err := s.net.Use(h.Link, h.Wavelength); err != nil {
+			panic("netsim: rereserve failed: " + err.Error())
+		}
+	}
+}
+
+func pathUses(p *wdm.Semilightpath, link int) bool {
+	for _, h := range p.Hops {
+		if h.Link == link {
+			return true
+		}
+	}
+	return false
+}
+
+func pathDown(p *wdm.Semilightpath, down []bool) bool {
+	for _, h := range p.Hops {
+		if down[h.Link] {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveConnections returns the number of currently established connections.
+func (s *Sim) LiveConnections() int { return len(s.conns) }

@@ -1,0 +1,83 @@
+// Package parallel runs experiment sweeps across goroutines with
+// deterministic results: each task owns its index (and derives its own seed
+// from it), so the output is independent of scheduling. This is the fan-out
+// layer the benchmark harness uses to fill all cores.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn(i) for i in [0, n) using up to workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS) and returns the results in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n < 0 {
+		panic("parallel: negative task count")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(n) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ForEach is Map without results.
+func ForEach(n, workers int, fn func(i int)) {
+	Map(n, workers, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}
+
+// Reduce runs fn over [0, n) in parallel and folds the results with combine
+// in index order (combine must be associative for the fold order to be
+// irrelevant; it is applied sequentially left-to-right over the ordered
+// results, so any binary op works deterministically).
+func Reduce[T, A any](n, workers int, zero A, fn func(i int) T, combine func(A, T) A) A {
+	results := Map(n, workers, fn)
+	acc := zero
+	for _, r := range results {
+		acc = combine(acc, r)
+	}
+	return acc
+}

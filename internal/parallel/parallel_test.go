@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	got := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapZeroAndOne(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); len(got) != 0 {
+		t.Fatal("empty map should return empty slice")
+	}
+	if got := Map(1, 4, func(i int) int { return 7 }); got[0] != 7 {
+		t.Fatal("single task wrong")
+	}
+}
+
+func TestMapSerialFallback(t *testing.T) {
+	got := Map(10, 1, func(i int) int { return i + 1 })
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	var calls int64
+	Map(50, 0, func(i int) int {
+		atomic.AddInt64(&calls, 1)
+		return i
+	})
+	if calls != 50 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestMapEachIndexOnce(t *testing.T) {
+	n := 1000
+	seen := make([]int64, n)
+	Map(n, 16, func(i int) struct{} {
+		atomic.AddInt64(&seen[i], 1)
+		return struct{}{}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestMapNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative n should panic")
+		}
+	}()
+	Map(-1, 2, func(i int) int { return i })
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach(100, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	// Non-commutative combine (string append) must still be deterministic
+	// because folding happens in index order.
+	got := Reduce(5, 4, "", func(i int) string {
+		return string(rune('a' + i))
+	}, func(acc, s string) string { return acc + s })
+	if got != "abcde" {
+		t.Fatalf("Reduce = %q", got)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	want := 0.0
+	for i := range xs {
+		xs[i] = rng.Float64()
+		want += xs[i]
+	}
+	got := Reduce(len(xs), 8, 0.0, func(i int) float64 { return xs[i] },
+		func(a, x float64) float64 { return a + x })
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	fn := func(i int) int { return i*31 + 7 }
+	serial := Map(200, 1, fn)
+	para := Map(200, 16, fn)
+	for i := range serial {
+		if serial[i] != para[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkMapOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Map(64, 0, func(i int) int { return i })
+	}
+}

@@ -1,0 +1,149 @@
+package pq
+
+// PairingHeap is a min-ordered pairing heap keyed by float64 priorities with
+// an arbitrary integer payload. It supports O(1) amortized Push and Meld and
+// O(log n) amortized Pop, with decrease-key via node handles. Pairing heaps
+// are the standard practical stand-in for the Fibonacci heaps cited by the
+// paper's complexity analysis.
+type PairingHeap struct {
+	root *PairingNode
+	size int
+}
+
+// PairingNode is a handle to an element inside a PairingHeap. Handles stay
+// valid until the element is popped.
+type PairingNode struct {
+	Value    int
+	priority float64
+
+	child, sibling, prev *PairingNode // prev: parent if first child, else left sibling
+}
+
+// Priority returns the node's current priority.
+func (n *PairingNode) Priority() float64 { return n.priority }
+
+// NewPairingHeap returns an empty pairing heap.
+func NewPairingHeap() *PairingHeap { return &PairingHeap{} }
+
+// Len returns the number of elements.
+func (h *PairingHeap) Len() int { return h.size }
+
+// Empty reports whether the heap has no elements.
+func (h *PairingHeap) Empty() bool { return h.root == nil }
+
+// Push inserts value with the given priority and returns its handle.
+func (h *PairingHeap) Push(value int, priority float64) *PairingNode {
+	n := &PairingNode{Value: value, priority: priority}
+	h.root = meld(h.root, n)
+	h.size++
+	return n
+}
+
+// Peek returns the minimum element without removing it. It panics if empty.
+func (h *PairingHeap) Peek() (value int, priority float64) {
+	if h.root == nil {
+		panic("pq: Peek on empty pairing heap")
+	}
+	return h.root.Value, h.root.priority
+}
+
+// Pop removes and returns the minimum element. It panics if empty.
+func (h *PairingHeap) Pop() (value int, priority float64) {
+	if h.root == nil {
+		panic("pq: Pop from empty pairing heap")
+	}
+	r := h.root
+	h.root = mergePairs(r.child)
+	if h.root != nil {
+		h.root.prev = nil
+		h.root.sibling = nil
+	}
+	h.size--
+	r.child, r.sibling, r.prev = nil, nil, nil
+	return r.Value, r.priority
+}
+
+// DecreaseKey lowers the priority of the element behind handle n. It panics
+// if the new priority is greater than the current one.
+func (h *PairingHeap) DecreaseKey(n *PairingNode, priority float64) {
+	if priority > n.priority {
+		panic("pq: DecreaseKey with larger priority")
+	}
+	n.priority = priority
+	if n == h.root {
+		return
+	}
+	// Detach n from its sibling list.
+	if n.prev.child == n { // n is the first child of its parent
+		n.prev.child = n.sibling
+	} else {
+		n.prev.sibling = n.sibling
+	}
+	if n.sibling != nil {
+		n.sibling.prev = n.prev
+	}
+	n.sibling, n.prev = nil, nil
+	h.root = meld(h.root, n)
+}
+
+// Meld merges other into h, emptying other.
+func (h *PairingHeap) Meld(other *PairingHeap) {
+	if other == h || other == nil || other.root == nil {
+		return
+	}
+	h.root = meld(h.root, other.root)
+	h.size += other.size
+	other.root = nil
+	other.size = 0
+}
+
+func meld(a, b *PairingNode) *PairingNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.priority < a.priority {
+		a, b = b, a
+	}
+	// b becomes the first child of a.
+	b.prev = a
+	b.sibling = a.child
+	if a.child != nil {
+		a.child.prev = b
+	}
+	a.child = b
+	a.prev = nil
+	a.sibling = nil
+	return a
+}
+
+// mergePairs performs the two-pass pairing over a sibling list.
+func mergePairs(first *PairingNode) *PairingNode {
+	if first == nil {
+		return nil
+	}
+	// Pass 1: meld adjacent pairs left to right.
+	var pairs []*PairingNode
+	for first != nil {
+		a := first
+		b := first.sibling
+		if b != nil {
+			first = b.sibling
+			a.sibling, a.prev = nil, nil
+			b.sibling, b.prev = nil, nil
+			pairs = append(pairs, meld(a, b))
+		} else {
+			first = nil
+			a.sibling, a.prev = nil, nil
+			pairs = append(pairs, a)
+		}
+	}
+	// Pass 2: meld right to left.
+	res := pairs[len(pairs)-1]
+	for i := len(pairs) - 2; i >= 0; i-- {
+		res = meld(res, pairs[i])
+	}
+	return res
+}

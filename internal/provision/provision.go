@@ -1,0 +1,181 @@
+// Package provision solves the static-traffic counterpart of the paper's
+// problem (§1 cites it via Nagatsu et al. and Alanyali–Ayanoglu): given a
+// batch of demands known in advance, establish a robust (primary + backup)
+// pair for every demand, minimising total cost. Unlike the paper's online
+// setting, an offline provisioner may afford more computation, so after the
+// sequential first pass it runs local-improvement passes that tear down and
+// re-route one connection at a time while the others stay pinned.
+package provision
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/lightpath"
+	"repro/internal/wdm"
+)
+
+// Demand is one provisioning request.
+type Demand struct {
+	ID  int
+	Src int
+	Dst int
+}
+
+// Router selects the per-demand routing algorithm.
+type Router int
+
+const (
+	// MinCost provisions with ApproxMinCost (§3.3).
+	MinCost Router = iota
+	// MinLoadCost provisions with the §4.2 load-then-cost algorithm.
+	MinLoadCost
+	// NodeDisjoint provisions internally node-disjoint pairs.
+	NodeDisjoint
+)
+
+func (r Router) route(net *wdm.Network, s, t int, opts *core.Options) (*core.Result, bool) {
+	switch r {
+	case MinCost:
+		return core.ApproxMinCost(net, s, t, opts)
+	case MinLoadCost:
+		return core.MinLoadCost(net, s, t, opts)
+	case NodeDisjoint:
+		return core.ApproxMinCostNodeDisjoint(net, s, t, opts)
+	}
+	panic("provision: unknown router")
+}
+
+// Order selects the sequential routing order of the first pass.
+type Order int
+
+const (
+	// InOrder provisions demands in input order.
+	InOrder Order = iota
+	// LongestFirst provisions demands with the longest shortest-path first —
+	// long connections are the hardest to place, so they go while the
+	// network is empty.
+	LongestFirst
+	// ShortestFirst provisions the shortest demands first (maximises the
+	// count of placed demands under scarcity).
+	ShortestFirst
+)
+
+// Config tunes Provision.
+type Config struct {
+	Router Router
+	Order  Order
+	// ImprovePasses re-routes every placed demand this many times after the
+	// first pass, keeping strictly cheaper routings (0 = no improvement).
+	ImprovePasses int
+	// Opts is forwarded to the core routers.
+	Opts *core.Options
+}
+
+// Placement is the outcome for one demand.
+type Placement struct {
+	Demand Demand
+	Route  *core.Result // nil when the demand could not be placed
+}
+
+// Result summarises a provisioning run.
+type Result struct {
+	Placements []Placement
+	Placed     int
+	Failed     int
+	// TotalCost is the Eq. 1 cost sum over all placed pairs.
+	TotalCost float64
+	// NetworkLoad is ρ after all placements.
+	NetworkLoad float64
+	// Improved counts re-routings accepted during improvement passes.
+	Improved int
+}
+
+// Provision routes the batch on the given network, reserving capacity as it
+// goes. The network is mutated (placed demands stay reserved); pass a clone
+// to keep the original pristine.
+func Provision(net *wdm.Network, demands []Demand, cfg Config) *Result {
+	order := make([]int, len(demands))
+	for i := range order {
+		order[i] = i
+	}
+	switch cfg.Order {
+	case LongestFirst, ShortestFirst:
+		// Rank by current shortest semilightpath cost (∞ if unroutable).
+		rank := make([]float64, len(demands))
+		for i, d := range demands {
+			if _, c, ok := lightpath.Optimal(net, d.Src, d.Dst, nil); ok {
+				rank[i] = c
+			} else {
+				rank[i] = math.Inf(1)
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if cfg.Order == LongestFirst {
+				return rank[order[a]] > rank[order[b]]
+			}
+			return rank[order[a]] < rank[order[b]]
+		})
+	}
+
+	res := &Result{Placements: make([]Placement, len(demands))}
+	for i, d := range demands {
+		res.Placements[i] = Placement{Demand: d}
+	}
+	for _, idx := range order {
+		d := demands[idx]
+		r, ok := cfg.Router.route(net, d.Src, d.Dst, cfg.Opts)
+		if !ok || core.Establish(net, r) != nil {
+			res.Failed++
+			continue
+		}
+		res.Placements[idx].Route = r
+		res.Placed++
+	}
+
+	for pass := 0; pass < cfg.ImprovePasses; pass++ {
+		improvedThisPass := 0
+		for idx := range res.Placements {
+			p := &res.Placements[idx]
+			if p.Route == nil {
+				// Retry failures too: earlier teardowns may have freed room.
+				if r, ok := cfg.Router.route(net, p.Demand.Src, p.Demand.Dst, cfg.Opts); ok &&
+					core.Establish(net, r) == nil {
+					p.Route = r
+					res.Placed++
+					res.Failed--
+					improvedThisPass++
+				}
+				continue
+			}
+			old := p.Route
+			if err := core.Teardown(net, old); err != nil {
+				panic("provision: teardown failed: " + err.Error())
+			}
+			r, ok := cfg.Router.route(net, p.Demand.Src, p.Demand.Dst, cfg.Opts)
+			if ok && r.Cost < old.Cost-1e-9 && core.Establish(net, r) == nil {
+				p.Route = r
+				improvedThisPass++
+				continue
+			}
+			// Keep the old routing (re-reserve; nothing else moved since
+			// the teardown).
+			if err := core.Establish(net, old); err != nil {
+				panic("provision: re-establish failed: " + err.Error())
+			}
+		}
+		res.Improved += improvedThisPass
+		if improvedThisPass == 0 {
+			break
+		}
+	}
+
+	for _, p := range res.Placements {
+		if p.Route != nil {
+			res.TotalCost += p.Route.Cost
+		}
+	}
+	res.NetworkLoad = net.NetworkLoad()
+	return res
+}

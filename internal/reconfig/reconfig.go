@@ -1,0 +1,173 @@
+// Package reconfig implements the network reconfiguration the paper's §4
+// motivates avoiding: given a loaded network and its live connections,
+// re-route connections to minimise the network load ρ = max_e U(e)/N(e)
+// (the objective of Narula-Tam & Modiano [18] and Acampora [1], cited in
+// §1). During a real reconfiguration the network is frozen, so the optimizer
+// also reports how many connections had to move — the disruption §4's
+// load-aware routing reduces the need for.
+//
+// The optimizer is an iterated local search: connections riding the most
+// loaded links are torn down and re-routed with the load-minimising router;
+// a round is kept only if ρ (with the number of maximally-loaded links as
+// tie-break) strictly improves.
+package reconfig
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/wdm"
+)
+
+// Connection is one live connection the optimizer may move.
+type Connection struct {
+	ID      int
+	Src     int
+	Dst     int
+	Primary *wdm.Semilightpath
+	Backup  *wdm.Semilightpath // may be nil (unprotected)
+}
+
+// Result reports a reconfiguration run.
+type Result struct {
+	// LoadBefore and LoadAfter are ρ before and after.
+	LoadBefore float64
+	LoadAfter  float64
+	// Moves counts connections that ended on different routes.
+	Moves int
+	// Rounds counts improvement rounds executed.
+	Rounds int
+}
+
+// state captures ρ plus the count of links at ρ (lexicographic objective).
+func state(net *wdm.Network) (float64, int) {
+	rho := net.NetworkLoad()
+	at := 0
+	for id := 0; id < net.Links(); id++ {
+		l := net.Link(id)
+		if l.N() == 0 {
+			continue
+		}
+		if l.Load() >= rho-1e-12 {
+			at++
+		}
+	}
+	return rho, at
+}
+
+// Optimize re-routes connections in place (their Primary/Backup fields are
+// updated and the network's reservations adjusted) until the network load
+// stops improving or maxRounds is exhausted (0 = 10). All connections must
+// currently be reserved on the network.
+func Optimize(net *wdm.Network, conns []*Connection, maxRounds int, opts *core.Options) *Result {
+	if maxRounds <= 0 {
+		maxRounds = 10
+	}
+	res := &Result{}
+	res.LoadBefore, _ = state(net)
+	moved := map[int]bool{}
+
+	for round := 0; round < maxRounds; round++ {
+		rho, ties := state(net)
+		if rho == 0 {
+			break
+		}
+		// Connections on maximally loaded links, most loaded first.
+		type cand struct {
+			c    *Connection
+			load float64
+		}
+		var cands []cand
+		for _, c := range conns {
+			maxL := 0.0
+			paths := []*wdm.Semilightpath{c.Primary}
+			if c.Backup != nil {
+				paths = append(paths, c.Backup)
+			}
+			for _, p := range paths {
+				for _, h := range p.Hops {
+					if l := net.Link(h.Link).Load(); l > maxL {
+						maxL = l
+					}
+				}
+			}
+			if maxL >= rho-1e-12 {
+				cands = append(cands, cand{c: c, load: maxL})
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].load != cands[j].load {
+				return cands[i].load > cands[j].load
+			}
+			return cands[i].c.ID < cands[j].c.ID
+		})
+		improvedRound := false
+		for _, cd := range cands {
+			c := cd.c
+			oldP, oldB := c.Primary, c.Backup
+			release(net, oldP, oldB)
+			r, ok := core.MinLoad(net, c.Src, c.Dst, opts)
+			if ok && core.Establish(net, r) == nil {
+				nrho, nties := state(net)
+				if nrho < rho-1e-12 || (nrho <= rho+1e-12 && nties < ties) {
+					c.Primary, c.Backup = r.Primary, r.Backup
+					if !samePaths(oldP, r.Primary) || !samePaths(oldB, r.Backup) {
+						moved[c.ID] = true
+					}
+					rho, ties = nrho, nties
+					improvedRound = true
+					continue
+				}
+				// No improvement: undo.
+				if err := core.Teardown(net, r); err != nil {
+					panic("reconfig: undo teardown failed: " + err.Error())
+				}
+			}
+			reserve(net, oldP, oldB)
+		}
+		res.Rounds++
+		if !improvedRound {
+			break
+		}
+	}
+	res.LoadAfter, _ = state(net)
+	res.Moves = len(moved)
+	return res
+}
+
+func release(net *wdm.Network, p, b *wdm.Semilightpath) {
+	if err := net.ReleasePath(p); err != nil {
+		panic("reconfig: release failed: " + err.Error())
+	}
+	if b != nil {
+		if err := net.ReleasePath(b); err != nil {
+			panic("reconfig: release failed: " + err.Error())
+		}
+	}
+}
+
+func reserve(net *wdm.Network, p, b *wdm.Semilightpath) {
+	if err := net.Reserve(p); err != nil {
+		panic("reconfig: re-reserve failed: " + err.Error())
+	}
+	if b != nil {
+		if err := net.Reserve(b); err != nil {
+			panic("reconfig: re-reserve failed: " + err.Error())
+		}
+	}
+}
+
+func samePaths(a, b *wdm.Semilightpath) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.Hops) != len(b.Hops) {
+		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i] != b.Hops[i] {
+			return false
+		}
+	}
+	return true
+}

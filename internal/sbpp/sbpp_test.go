@@ -1,0 +1,253 @@
+package sbpp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topo"
+	"repro/internal/wdm"
+)
+
+// twoCorridors: two node-disjoint primaries (0→1→5, 0→2→5) can share a
+// backup corridor 0→3→5... careful: backups must be edge-disjoint from own
+// primary only. Build so both connections naturally back up over the same
+// middle corridor.
+func sharingNet() *wdm.Network {
+	net := wdm.NewNetwork(7, 4)
+	// Primary corridors for (0,6) requests routed twice: 0→1→6 (cheap) and
+	// 0→2→6 (next), both cheaper than the backup corridor 0→3→6.
+	net.AddUniformLink(0, 1, 1)
+	net.AddUniformLink(1, 6, 1)
+	net.AddUniformLink(0, 2, 1.2)
+	net.AddUniformLink(2, 6, 1.2)
+	net.AddUniformLink(0, 3, 5)
+	net.AddUniformLink(3, 6, 5)
+	net.SetAllConverters(wdm.NewFullConverter(4, 0.5))
+	return net
+}
+
+func TestEstablishSharesBackupChannels(t *testing.T) {
+	m := NewManager(sharingNet())
+	c1, ok := m.Establish(0, 6)
+	if !ok {
+		t.Fatal("first establish failed")
+	}
+	c2, ok := m.Establish(0, 6)
+	if !ok {
+		t.Fatal("second establish failed")
+	}
+	// Primaries are link-disjoint (capacity steering: W=4 so both could fit
+	// the cheap corridor; primary routing is cost-optimal so both take
+	// 0→1→6 — in that case sharing is illegal and channels must NOT be
+	// shared).
+	p1 := map[int]bool{}
+	for _, h := range c1.Primary.Hops {
+		p1[h.Link] = true
+	}
+	overlap := false
+	for _, h := range c2.Primary.Hops {
+		if p1[h.Link] {
+			overlap = true
+		}
+	}
+	if overlap {
+		if m.SharedChannels() != 0 {
+			t.Fatal("illegal sharing between link-overlapping primaries")
+		}
+	} else if m.SharedChannels() == 0 {
+		t.Fatal("disjoint primaries should share backup channels")
+	}
+	rep := m.Report()
+	if rep.BackupChannels > rep.BackupDemand {
+		t.Fatalf("reserved more backup channels than dedicated demand: %+v", rep)
+	}
+}
+
+// Force disjoint primaries with W=1: the second connection cannot reuse the
+// first primary corridor, so its primary takes the second corridor, and both
+// backups land on the expensive third corridor — shared.
+func TestSharingWithForcedDisjointPrimaries(t *testing.T) {
+	net := wdm.NewNetwork(7, 1)
+	net.AddUniformLink(0, 1, 1)
+	net.AddUniformLink(1, 6, 1)
+	net.AddUniformLink(0, 2, 1.2)
+	net.AddUniformLink(2, 6, 1.2)
+	net.AddUniformLink(0, 3, 5)
+	net.AddUniformLink(3, 6, 5)
+	net.SetAllConverters(wdm.NewFullConverter(1, 0))
+	m := NewManager(net)
+	if _, ok := m.Establish(0, 6); !ok {
+		t.Fatal("first establish failed")
+	}
+	if _, ok := m.Establish(0, 6); !ok {
+		t.Fatal("second establish failed (needs sharing: W=1)")
+	}
+	if m.SharedChannels() != 2 {
+		t.Fatalf("shared channels = %d, want 2 (both backup hops)", m.SharedChannels())
+	}
+	rep := m.Report()
+	if rep.BackupChannels != 2 || rep.BackupDemand != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if s := rep.Savings(); s != 0.5 {
+		t.Fatalf("savings = %g, want 0.5", s)
+	}
+	// A third identical connection cannot fit: no primary corridor left.
+	if _, ok := m.Establish(0, 6); ok {
+		t.Fatal("third establish should fail (no free primary corridor)")
+	}
+}
+
+func TestFailoverActivatesSharedBackup(t *testing.T) {
+	net := wdm.NewNetwork(7, 1)
+	net.AddUniformLink(0, 1, 1)
+	l16 := net.AddUniformLink(1, 6, 1)
+	net.AddUniformLink(0, 2, 1.2)
+	net.AddUniformLink(2, 6, 1.2)
+	net.AddUniformLink(0, 3, 5)
+	net.AddUniformLink(3, 6, 5)
+	net.SetAllConverters(wdm.NewFullConverter(1, 0))
+	m := NewManager(net)
+	c1, _ := m.Establish(0, 6)
+	c2, _ := m.Establish(0, 6)
+	recovered, lost, unprotected := m.FailLink(l16)
+	if recovered != 1 || lost != 0 {
+		t.Fatalf("recovered=%d lost=%d", recovered, lost)
+	}
+	// The sharing partner lost its backup.
+	if unprotected != 1 {
+		t.Fatalf("unprotected = %d, want 1", unprotected)
+	}
+	// c1 (whose primary used l16) is now activated on the backup corridor.
+	if !m.conns[c1.ID].Activated {
+		t.Fatal("affected connection not activated")
+	}
+	if m.conns[c2.ID].Backup != nil {
+		t.Fatal("partner backup should be detached")
+	}
+	// Teardown everything; all channels must return.
+	if err := m.Teardown(c1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Teardown(c2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.Net().NetworkLoad() != 0 {
+		t.Fatalf("channels leaked: load %g", m.Net().NetworkLoad())
+	}
+	if m.BackupChannels() != 0 {
+		t.Fatal("share table leaked")
+	}
+}
+
+func TestTeardownUnknown(t *testing.T) {
+	m := NewManager(topo.Ring(4, topo.Config{W: 2}))
+	if err := m.Teardown(99); err == nil {
+		t.Fatal("unknown teardown accepted")
+	}
+}
+
+func TestSharingRuleNeverViolated(t *testing.T) {
+	// Randomized: establish/teardown churn on NSFNET; after every operation
+	// check the invariant — all connections sharing a channel have pairwise
+	// link-disjoint primaries.
+	rng := rand.New(rand.NewSource(7))
+	m := NewManager(topo.NSFNET(topo.Config{W: 4}))
+	var live []int
+	checkInvariant := func() {
+		for key, set := range m.shares {
+			ids := make([]int, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
+			}
+			for i := 0; i < len(ids); i++ {
+				pi := m.primaryLinks(ids[i])
+				for j := i + 1; j < len(ids); j++ {
+					for l := range m.primaryLinks(ids[j]) {
+						if pi[l] {
+							t.Fatalf("channel %v shared by overlapping primaries %d/%d",
+								key, ids[i], ids[j])
+						}
+					}
+				}
+			}
+		}
+	}
+	for op := 0; op < 300; op++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			s := rng.Intn(14)
+			d := rng.Intn(13)
+			if d >= s {
+				d++
+			}
+			if c, ok := m.Establish(s, d); ok {
+				live = append(live, c.ID)
+			}
+		} else {
+			i := rng.Intn(len(live))
+			if err := m.Teardown(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		checkInvariant()
+	}
+	// Drain and verify no leaks.
+	for _, id := range live {
+		if err := m.Teardown(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Net().NetworkLoad() != 0 || m.BackupChannels() != 0 {
+		t.Fatal("capacity leaked after drain")
+	}
+}
+
+func TestSharedSavesCapacityVsDedicated(t *testing.T) {
+	// Batch the same demands under SBPP and count channels; dedicated
+	// demand is the backup hop count. Savings must be non-negative and
+	// positive on NSFNET with many demands.
+	rng := rand.New(rand.NewSource(3))
+	m := NewManager(topo.NSFNET(topo.Config{W: 8}))
+	placed := 0
+	for i := 0; i < 40; i++ {
+		s := rng.Intn(14)
+		d := rng.Intn(13)
+		if d >= s {
+			d++
+		}
+		if _, ok := m.Establish(s, d); ok {
+			placed++
+		}
+	}
+	if placed < 20 {
+		t.Fatalf("only %d placed", placed)
+	}
+	rep := m.Report()
+	if rep.Savings() <= 0 {
+		t.Fatalf("no sharing savings: %+v", rep)
+	}
+	t.Logf("placed=%d primary=%d backupChannels=%d demand=%d savings=%.1f%%",
+		placed, rep.PrimaryChannels, rep.BackupChannels, rep.BackupDemand, 100*rep.Savings())
+}
+
+func TestAccessorsAndEmptyReport(t *testing.T) {
+	m := NewManager(topo.Ring(4, topo.Config{W: 2}))
+	if m.Connections() != 0 || m.BackupChannels() != 0 {
+		t.Fatal("fresh manager not empty")
+	}
+	if m.Net() == nil {
+		t.Fatal("Net accessor nil")
+	}
+	rep := m.Report()
+	if rep.Savings() != 0 {
+		t.Fatal("empty report should have zero savings")
+	}
+	c, ok := m.Establish(0, 2)
+	if !ok {
+		t.Fatal("establish failed")
+	}
+	if m.Connections() != 1 || c.Src != 0 || c.Dst != 2 {
+		t.Fatal("connection accounting wrong")
+	}
+}

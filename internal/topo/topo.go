@@ -1,0 +1,205 @@
+// Package topo generates the evaluation topologies: the 14-node NSFNET and a
+// 20-node ARPA-2-style backbone (the standard wide-area test networks of the
+// WDM literature), plus parametric rings, grids, Waxman random graphs and
+// complete graphs. Every generator returns a fresh residual network with all
+// wavelengths available, bidirectional fiber (one directed link each way),
+// and full wavelength conversion.
+package topo
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/wdm"
+)
+
+// Config sets the optical parameters common to all generators.
+type Config struct {
+	// W is the number of wavelengths per fiber (required, ≥ 1).
+	W int
+	// LinkCost is the uniform per-wavelength traversal cost of a unit-length
+	// link (default 1). Generators with geometric lengths scale it.
+	LinkCost float64
+	// ConvCost is the uniform wavelength-conversion cost at every node
+	// (default 0.5; the Theorem 2 regime wants it ≤ the cheapest link).
+	ConvCost float64
+}
+
+func (c Config) linkCost() float64 {
+	if c.LinkCost == 0 {
+		return 1
+	}
+	return c.LinkCost
+}
+
+func (c Config) convCost() float64 {
+	if c.ConvCost == 0 {
+		return 0.5
+	}
+	return c.ConvCost
+}
+
+func newNet(n int, c Config) *wdm.Network {
+	net := wdm.NewNetwork(n, c.W)
+	net.SetAllConverters(wdm.NewFullConverter(c.W, c.convCost()))
+	return net
+}
+
+// nsfnetEdges is the classic 14-node, 21-span NSFNET T1 backbone
+// (0-indexed).
+var nsfnetEdges = [][2]int{
+	{0, 1}, {0, 2}, {0, 7},
+	{1, 2}, {1, 3},
+	{2, 5},
+	{3, 4}, {3, 10},
+	{4, 5}, {4, 6},
+	{5, 9}, {5, 12},
+	{6, 7},
+	{7, 8},
+	{8, 9}, {8, 11}, {8, 13},
+	{10, 11}, {10, 12},
+	{11, 13},
+	{12, 13},
+}
+
+// NSFNET returns the 14-node NSFNET backbone with 21 bidirectional spans
+// (42 directed links) at uniform cost.
+func NSFNET(c Config) *wdm.Network {
+	net := newNet(14, c)
+	for _, e := range nsfnetEdges {
+		net.AddUniformPair(e[0], e[1], c.linkCost())
+	}
+	return net
+}
+
+// arpa2Edges is a 20-node ARPA-2-style backbone with 31 spans, after the
+// topology commonly used in survivable-WDM studies.
+var arpa2Edges = [][2]int{
+	{0, 1}, {0, 2}, {0, 19},
+	{1, 2}, {1, 3},
+	{2, 4},
+	{3, 5}, {3, 6},
+	{4, 6}, {4, 7},
+	{5, 8},
+	{6, 9},
+	{7, 10},
+	{8, 9}, {8, 11},
+	{9, 12},
+	{10, 12}, {10, 13},
+	{11, 14},
+	{12, 15},
+	{13, 16},
+	{14, 15}, {14, 17},
+	{15, 16}, {15, 18},
+	{16, 19},
+	{17, 18},
+	{18, 19},
+	{5, 11}, {7, 13}, {17, 19},
+}
+
+// ARPA2 returns a 20-node ARPA-2-style backbone with 31 bidirectional spans.
+func ARPA2(c Config) *wdm.Network {
+	net := newNet(20, c)
+	for _, e := range arpa2Edges {
+		net.AddUniformPair(e[0], e[1], c.linkCost())
+	}
+	return net
+}
+
+// Ring returns a bidirectional n-node ring — the minimal topology in which
+// every request admits exactly one edge-disjoint pair.
+func Ring(n int, c Config) *wdm.Network {
+	if n < 3 {
+		panic("topo: ring needs at least 3 nodes")
+	}
+	net := newNet(n, c)
+	for v := 0; v < n; v++ {
+		net.AddUniformPair(v, (v+1)%n, c.linkCost())
+	}
+	return net
+}
+
+// Grid returns an r×cols bidirectional mesh.
+func Grid(r, cols int, c Config) *wdm.Network {
+	if r < 1 || cols < 1 {
+		panic("topo: invalid grid dimensions")
+	}
+	net := newNet(r*cols, c)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				net.AddUniformPair(id(i, j), id(i, j+1), c.linkCost())
+			}
+			if i+1 < r {
+				net.AddUniformPair(id(i, j), id(i+1, j), c.linkCost())
+			}
+		}
+	}
+	return net
+}
+
+// Complete returns the complete bidirectional graph on n nodes.
+func Complete(n int, c Config) *wdm.Network {
+	if n < 2 {
+		panic("topo: complete graph needs at least 2 nodes")
+	}
+	net := newNet(n, c)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			net.AddUniformPair(u, v, c.linkCost())
+		}
+	}
+	return net
+}
+
+// Waxman returns a random Waxman graph: n nodes placed uniformly in the unit
+// square, span (u,v) present with probability β·exp(−d(u,v)/(α·√2)), plus a
+// random-order ring to guarantee biconnectivity. Link costs scale with
+// Euclidean length. Deterministic for a given seed.
+func Waxman(n int, alpha, beta float64, seed int64, c Config) *wdm.Network {
+	if n < 3 {
+		panic("topo: waxman needs at least 3 nodes")
+	}
+	if alpha <= 0 || beta <= 0 || beta > 1 {
+		panic("topo: invalid waxman parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(u, v int) float64 {
+		return math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+	}
+	net := newNet(n, c)
+	added := map[[2]int]bool{}
+	addSpan := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || added[[2]int{u, v}] {
+			return
+		}
+		added[[2]int{u, v}] = true
+		// Geometric cost, floored so zero-length spans stay positive.
+		cost := c.linkCost() * (0.1 + dist(u, v))
+		net.AddUniformPair(u, v, cost)
+	}
+	// Connectivity backbone: ring over a random permutation.
+	perm := rng.Perm(n)
+	for i := range perm {
+		addSpan(perm[i], perm[(i+1)%n])
+	}
+	L := math.Sqrt2
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < beta*math.Exp(-dist(u, v)/(alpha*L)) {
+				addSpan(u, v)
+			}
+		}
+	}
+	return net
+}

@@ -1,0 +1,50 @@
+package topofile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode exercises the JSON topology parser: it must never panic, and
+// every accepted input must build a structurally sound network that
+// round-trips through Describe/Encode/Decode.
+func FuzzDecode(f *testing.F) {
+	f.Add(sample)
+	f.Add(`{"nodes": 1, "wavelengths": 1, "links": []}`)
+	f.Add(`{"nodes": 3, "wavelengths": 2, "converter": {"kind": "none"},
+		"links": [{"from": 0, "to": 1, "wavelengths": [1], "costs": [0.5]}]}`)
+	f.Add(`{"nodes": -1}`)
+	f.Add(`{"nodes": 2, "wavelengths": 1, "links": [{"from": 0, "to": 1, "cost": 1e309}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		net, err := Decode(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if net.Nodes() < 1 || net.W() < 1 {
+			t.Fatalf("accepted invalid dimensions: %d nodes, W=%d", net.Nodes(), net.W())
+		}
+		for id := 0; id < net.Links(); id++ {
+			l := net.Link(id)
+			if l.From < 0 || l.From >= net.Nodes() || l.To < 0 || l.To >= net.Nodes() {
+				t.Fatalf("link %d endpoints out of range", id)
+			}
+			if l.From == l.To {
+				t.Fatalf("accepted self-loop at %d", l.From)
+			}
+		}
+		// Round trip.
+		desc := Describe(net, ConverterSpec{Kind: "full", Cost: 0.5})
+		var buf bytes.Buffer
+		if err := desc.Encode(&buf); err != nil {
+			t.Fatalf("encode failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Nodes() != net.Nodes() || back.Links() != net.Links() {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package topofile reads and writes WDM network descriptions as JSON, so
+// the command-line tools can route on user-supplied topologies and
+// reproduce results from saved instances. The format mirrors §2 of the
+// paper: per-link wavelength sets with per-wavelength costs and a per-node
+// conversion discipline.
+//
+//	{
+//	  "nodes": 4,
+//	  "wavelengths": 2,
+//	  "converter": {"kind": "full", "cost": 0.5},
+//	  "links": [
+//	    {"from": 0, "to": 1, "cost": 1.0, "bidir": true},
+//	    {"from": 1, "to": 2, "wavelengths": [0], "costs": [2.5]}
+//	  ]
+//	}
+//
+// A link either gives a uniform "cost" for all wavelengths or explicit
+// parallel "wavelengths"/"costs" arrays. "bidir": true adds the reverse
+// link with the same parameters.
+package topofile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/wdm"
+)
+
+// ConverterSpec selects the conversion discipline installed at every node.
+type ConverterSpec struct {
+	// Kind is "full" (default), "none", or "range".
+	Kind string `json:"kind"`
+	// Cost is the conversion cost (full: flat; range: per index step).
+	Cost float64 `json:"cost"`
+	// Range is the maximum wavelength-index distance for kind "range".
+	Range int `json:"range,omitempty"`
+}
+
+// LinkSpec describes one directed link (or a bidirectional pair).
+type LinkSpec struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Cost is the uniform per-wavelength cost; used when Wavelengths is
+	// empty (all wavelengths installed).
+	Cost float64 `json:"cost,omitempty"`
+	// Wavelengths/Costs list an explicit partial installation.
+	Wavelengths []int     `json:"wavelengths,omitempty"`
+	Costs       []float64 `json:"costs,omitempty"`
+	// Bidir adds the reverse link with identical parameters.
+	Bidir bool `json:"bidir,omitempty"`
+}
+
+// File is the on-disk topology description.
+type File struct {
+	Nodes       int           `json:"nodes"`
+	Wavelengths int           `json:"wavelengths"`
+	Converter   ConverterSpec `json:"converter"`
+	Links       []LinkSpec    `json:"links"`
+}
+
+// Decode parses a topology description and builds the network.
+func Decode(r io.Reader) (*wdm.Network, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("topofile: %w", err)
+	}
+	return f.Build()
+}
+
+// Load reads a topology file from disk.
+func Load(path string) (*wdm.Network, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topofile: %w", err)
+	}
+	defer fh.Close()
+	return Decode(fh)
+}
+
+// Build validates the description and constructs the network.
+func (f *File) Build() (*wdm.Network, error) {
+	if f.Nodes < 1 {
+		return nil, fmt.Errorf("topofile: nodes must be ≥ 1, got %d", f.Nodes)
+	}
+	if f.Wavelengths < 1 {
+		return nil, fmt.Errorf("topofile: wavelengths must be ≥ 1, got %d", f.Wavelengths)
+	}
+	net := wdm.NewNetwork(f.Nodes, f.Wavelengths)
+
+	switch f.Converter.Kind {
+	case "", "full":
+		if f.Converter.Cost < 0 {
+			return nil, fmt.Errorf("topofile: negative conversion cost")
+		}
+		net.SetAllConverters(wdm.NewFullConverter(f.Wavelengths, f.Converter.Cost))
+	case "none":
+		net.SetAllConverters(wdm.NoConverter{})
+	case "range":
+		if f.Converter.Range < 0 || f.Converter.Cost < 0 {
+			return nil, fmt.Errorf("topofile: invalid range converter")
+		}
+		net.SetAllConverters(wdm.NewRangeConverter(f.Converter.Range, f.Converter.Cost))
+	default:
+		return nil, fmt.Errorf("topofile: unknown converter kind %q", f.Converter.Kind)
+	}
+
+	addOne := func(l LinkSpec) error {
+		if l.From < 0 || l.From >= f.Nodes || l.To < 0 || l.To >= f.Nodes {
+			return fmt.Errorf("topofile: link (%d,%d) out of range", l.From, l.To)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("topofile: self-loop at node %d", l.From)
+		}
+		if len(l.Wavelengths) == 0 {
+			if l.Cost <= 0 {
+				return fmt.Errorf("topofile: link (%d,%d) needs a positive cost", l.From, l.To)
+			}
+			net.AddUniformLink(l.From, l.To, l.Cost)
+			return nil
+		}
+		if len(l.Wavelengths) != len(l.Costs) {
+			return fmt.Errorf("topofile: link (%d,%d) wavelengths/costs length mismatch", l.From, l.To)
+		}
+		for i, lam := range l.Wavelengths {
+			if lam < 0 || lam >= f.Wavelengths {
+				return fmt.Errorf("topofile: link (%d,%d) wavelength %d out of range", l.From, l.To, lam)
+			}
+			if l.Costs[i] < 0 {
+				return fmt.Errorf("topofile: link (%d,%d) negative cost", l.From, l.To)
+			}
+		}
+		net.AddLink(l.From, l.To, l.Wavelengths, l.Costs)
+		return nil
+	}
+	for _, l := range f.Links {
+		if err := addOne(l); err != nil {
+			return nil, err
+		}
+		if l.Bidir {
+			rev := l
+			rev.From, rev.To = l.To, l.From
+			rev.Bidir = false
+			if err := addOne(rev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return net, nil
+}
+
+// Describe converts a network back into a File (one LinkSpec per directed
+// link, explicit wavelength lists). Converter settings cannot be recovered
+// from the interface, so the caller supplies the spec.
+func Describe(net *wdm.Network, conv ConverterSpec) *File {
+	f := &File{
+		Nodes:       net.Nodes(),
+		Wavelengths: net.W(),
+		Converter:   conv,
+	}
+	for id := 0; id < net.Links(); id++ {
+		l := net.Link(id)
+		spec := LinkSpec{From: l.From, To: l.To}
+		l.Lambda().ForEach(func(lam int) bool {
+			spec.Wavelengths = append(spec.Wavelengths, lam)
+			spec.Costs = append(spec.Costs, l.Cost(lam))
+			return true
+		})
+		f.Links = append(f.Links, spec)
+	}
+	return f
+}
+
+// Encode writes the description as indented JSON.
+func (f *File) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Save writes a topology description to disk.
+func Save(path string, f *File) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("topofile: %w", err)
+	}
+	defer fh.Close()
+	return f.Encode(fh)
+}

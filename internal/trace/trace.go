@@ -1,0 +1,134 @@
+// Package trace records simulator events as structured records, so runs can
+// be audited, diffed across algorithms, or post-processed externally. The
+// JSONL encoding writes one event per line; the in-memory buffer supports
+// assertions in tests.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds emitted by the simulator.
+const (
+	Arrival    Kind = "arrival"    // request offered
+	Accept     Kind = "accept"     // connection established
+	Block      Kind = "block"      // request blocked
+	Depart     Kind = "depart"     // connection torn down
+	Failure    Kind = "failure"    // link failed
+	Repair     Kind = "repair"     // link repaired
+	Switchover Kind = "switchover" // primary → backup switch
+	Reroute    Kind = "reroute"    // passive restoration or reconfiguration reroute
+	Drop       Kind = "drop"       // connection lost (restoration failed)
+	Reconfig   Kind = "reconfig"   // network reconfiguration triggered
+	Reprotect  Kind = "reprotect"  // fresh backup established
+)
+
+// Event is one simulator occurrence.
+type Event struct {
+	Time float64 `json:"t"`
+	Kind Kind    `json:"kind"`
+	// Conn and Link identify the affected connection/link; −1 means not
+	// applicable.
+	Conn int `json:"conn"`
+	Link int `json:"link"`
+	// Detail carries free-form context ("cost=12.5", "theta=0.4").
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder consumes events. Implementations must be safe for use from a
+// single goroutine (the simulator is sequential); Tee and Buffer are
+// additionally safe for concurrent use.
+type Recorder interface {
+	Record(Event)
+}
+
+// Buffer is an in-memory recorder for tests and summaries.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record implements Recorder.
+func (b *Buffer) Record(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Count returns how many events of the given kind were recorded ("" counts
+// all events).
+func (b *Buffer) Count(kind Kind) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if kind == "" {
+		return len(b.events)
+	}
+	n := 0
+	for _, e := range b.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// JSONL writes each event as one JSON line.
+type JSONL struct {
+	enc *json.Encoder
+}
+
+// NewJSONL returns a recorder writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Record implements Recorder. Encoding errors are silently dropped (tracing
+// must never abort a simulation); use a failing-writer test to observe them.
+func (j *JSONL) Record(e Event) {
+	_ = j.enc.Encode(e)
+}
+
+// ReadJSONL parses a JSONL stream back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: %w", err)
+		}
+		out = append(out, e)
+	}
+}
+
+// Tee fans events out to several recorders.
+func Tee(rs ...Recorder) Recorder { return tee(rs) }
+
+type tee []Recorder
+
+func (t tee) Record(e Event) {
+	for _, r := range t {
+		r.Record(e)
+	}
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+// Record implements Recorder.
+func (Nop) Record(Event) {}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBufferRecordsAndCounts(t *testing.T) {
+	var b Buffer
+	b.Record(Event{Time: 1, Kind: Arrival, Conn: 0})
+	b.Record(Event{Time: 2, Kind: Accept, Conn: 0})
+	b.Record(Event{Time: 3, Kind: Arrival, Conn: 1})
+	if b.Count("") != 3 {
+		t.Fatalf("total = %d", b.Count(""))
+	}
+	if b.Count(Arrival) != 2 || b.Count(Accept) != 1 || b.Count(Block) != 0 {
+		t.Fatal("per-kind counts wrong")
+	}
+	evs := b.Events()
+	if len(evs) != 3 || evs[1].Kind != Accept {
+		t.Fatalf("Events = %v", evs)
+	}
+	// Returned slice is a copy.
+	evs[0].Kind = Drop
+	if b.Events()[0].Kind != Arrival {
+		t.Fatal("Events leaked internal slice")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	want := []Event{
+		{Time: 0.5, Kind: Arrival, Conn: 7, Detail: "0->5"},
+		{Time: 1.25, Kind: Failure, Link: 3},
+		{Time: 2, Kind: Reconfig, Detail: "rho=0.61"},
+	}
+	for _, e := range want {
+		j.Record(e)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("lines = %d", lines)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLBadInput(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad input accepted")
+	}
+	evs, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || len(evs) != 0 {
+		t.Fatal("empty input should yield no events")
+	}
+}
+
+func TestTeeAndNop(t *testing.T) {
+	var a, b Buffer
+	r := Tee(&a, &b, Nop{})
+	r.Record(Event{Kind: Drop})
+	if a.Count(Drop) != 1 || b.Count(Drop) != 1 {
+		t.Fatal("tee did not fan out")
+	}
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Matrix is a traffic matrix: Weight[s][d] is proportional to the request
+// rate between s and d. Diagonal entries are ignored.
+type Matrix struct {
+	Weight [][]float64
+}
+
+// NewUniformMatrix returns the all-ones matrix over n nodes (the default
+// uniform traffic).
+func NewUniformMatrix(n int) *Matrix {
+	m := &Matrix{Weight: make([][]float64, n)}
+	for i := range m.Weight {
+		m.Weight[i] = make([]float64, n)
+		for j := range m.Weight[i] {
+			if i != j {
+				m.Weight[i][j] = 1
+			}
+		}
+	}
+	return m
+}
+
+// NewGravityMatrix builds a gravity-model matrix: Weight[s][d] ∝
+// pop[s]·pop[d]. Node populations encode city sizes; large-to-large pairs
+// dominate, the classic WAN traffic shape.
+func NewGravityMatrix(pop []float64) *Matrix {
+	n := len(pop)
+	if n < 2 {
+		panic("workload: gravity matrix needs at least 2 nodes")
+	}
+	m := &Matrix{Weight: make([][]float64, n)}
+	for i := range m.Weight {
+		if pop[i] <= 0 || math.IsInf(pop[i], 0) || math.IsNaN(pop[i]) {
+			panic("workload: populations must be positive and finite")
+		}
+		m.Weight[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Weight[i][j] = pop[i] * pop[j]
+			}
+		}
+	}
+	return m
+}
+
+// Nodes returns the matrix dimension.
+func (m *Matrix) Nodes() int { return len(m.Weight) }
+
+// sampler precomputes the cumulative distribution for endpoint draws.
+type sampler struct {
+	cum   []float64
+	pairs [][2]int
+}
+
+func newSampler(m *Matrix) *sampler {
+	s := &sampler{}
+	total := 0.0
+	for i := range m.Weight {
+		for j := range m.Weight[i] {
+			if i == j || m.Weight[i][j] <= 0 {
+				continue
+			}
+			total += m.Weight[i][j]
+			s.cum = append(s.cum, total)
+			s.pairs = append(s.pairs, [2]int{i, j})
+		}
+	}
+	if len(s.pairs) == 0 {
+		panic("workload: traffic matrix has no positive off-diagonal entries")
+	}
+	return s
+}
+
+func (s *sampler) draw(rng *rand.Rand) (int, int) {
+	x := rng.Float64() * s.cum[len(s.cum)-1]
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.pairs[lo][0], s.pairs[lo][1]
+}
+
+// HoldingDist selects the holding-time distribution.
+type HoldingDist int
+
+const (
+	// HoldingExponential is the memoryless default (the §2 model).
+	HoldingExponential HoldingDist = iota
+	// HoldingDeterministic holds for exactly the mean.
+	HoldingDeterministic
+	// HoldingPareto is heavy-tailed (α = 2.5, scaled to the requested
+	// mean) — a stress test for transient effects.
+	HoldingPareto
+)
+
+// MatrixConfig parameterises MatrixPoisson: Poisson arrivals with endpoints
+// drawn from a traffic matrix and a selectable holding-time distribution.
+type MatrixConfig struct {
+	Matrix      *Matrix
+	ArrivalRate float64
+	MeanHolding float64
+	Count       int
+	Seed        int64
+	Holding     HoldingDist
+}
+
+// MatrixPoisson generates a request stream per the config.
+func MatrixPoisson(c MatrixConfig) []Request {
+	if c.Matrix == nil || c.Matrix.Nodes() < 2 {
+		panic("workload: matrix required")
+	}
+	if c.ArrivalRate <= 0 || c.MeanHolding <= 0 || c.Count < 0 {
+		panic("workload: invalid MatrixPoisson parameters")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	smp := newSampler(c.Matrix)
+	const paretoAlpha = 2.5
+	paretoXm := c.MeanHolding * (paretoAlpha - 1) / paretoAlpha
+	reqs := make([]Request, c.Count)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / c.ArrivalRate
+		src, dst := smp.draw(rng)
+		var hold float64
+		switch c.Holding {
+		case HoldingDeterministic:
+			hold = c.MeanHolding
+		case HoldingPareto:
+			hold = paretoXm / math.Pow(rng.Float64(), 1/paretoAlpha)
+		default:
+			hold = rng.ExpFloat64() * c.MeanHolding
+		}
+		reqs[i] = Request{ID: i, Src: src, Dst: dst, Arrival: t, Holding: hold}
+	}
+	return reqs
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformMatrix(t *testing.T) {
+	m := NewUniformMatrix(4)
+	if m.Nodes() != 4 {
+		t.Fatal("dimension wrong")
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 1.0
+			if i == j {
+				want = 0
+			}
+			if m.Weight[i][j] != want {
+				t.Fatalf("Weight[%d][%d] = %g", i, j, m.Weight[i][j])
+			}
+		}
+	}
+}
+
+func TestGravityMatrixShape(t *testing.T) {
+	m := NewGravityMatrix([]float64{10, 1, 1})
+	// Pair (0,1) weight 10, (1,2) weight 1.
+	if m.Weight[0][1] != 10 || m.Weight[1][2] != 1 || m.Weight[1][1] != 0 {
+		t.Fatalf("weights wrong: %v", m.Weight)
+	}
+	for name, fn := range map[string]func(){
+		"short": func() { NewGravityMatrix([]float64{1}) },
+		"zero":  func() { NewGravityMatrix([]float64{1, 0}) },
+		"nan":   func() { NewGravityMatrix([]float64{1, math.NaN()}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixPoissonEndpointFrequencies(t *testing.T) {
+	// Population 0 dominates: pairs touching node 0 should dominate.
+	m := NewGravityMatrix([]float64{8, 1, 1, 1})
+	reqs := MatrixPoisson(MatrixConfig{
+		Matrix: m, ArrivalRate: 1, MeanHolding: 1, Count: 20000, Seed: 5,
+	})
+	touching0 := 0
+	for _, r := range reqs {
+		if r.Src == r.Dst {
+			t.Fatal("self-pair generated")
+		}
+		if r.Src == 0 || r.Dst == 0 {
+			touching0++
+		}
+	}
+	// Total weight: pairs with 0: 6 ordered pairs × 8 = 48; others: 6 × 1.
+	// Expected fraction 48/54 ≈ 0.889.
+	frac := float64(touching0) / float64(len(reqs))
+	if frac < 0.86 || frac > 0.92 {
+		t.Fatalf("node-0 fraction = %g, want ≈ 0.889", frac)
+	}
+}
+
+func TestHoldingDistributions(t *testing.T) {
+	m := NewUniformMatrix(5)
+	base := MatrixConfig{Matrix: m, ArrivalRate: 1, MeanHolding: 2, Count: 30000, Seed: 9}
+
+	det := base
+	det.Holding = HoldingDeterministic
+	for _, r := range MatrixPoisson(det)[:100] {
+		if r.Holding != 2 {
+			t.Fatalf("deterministic holding = %g", r.Holding)
+		}
+	}
+
+	check := func(dist HoldingDist, name string) {
+		cfg := base
+		cfg.Holding = dist
+		sum := 0.0
+		reqs := MatrixPoisson(cfg)
+		for _, r := range reqs {
+			if r.Holding <= 0 {
+				t.Fatalf("%s: non-positive holding", name)
+			}
+			sum += r.Holding
+		}
+		mean := sum / float64(len(reqs))
+		if math.Abs(mean-2) > 0.15 {
+			t.Fatalf("%s: mean holding = %g, want ≈ 2", name, mean)
+		}
+	}
+	check(HoldingExponential, "exponential")
+	check(HoldingPareto, "pareto")
+
+	// Pareto is heavier-tailed: its max dwarfs the deterministic mean.
+	cfg := base
+	cfg.Holding = HoldingPareto
+	maxH := 0.0
+	for _, r := range MatrixPoisson(cfg) {
+		if r.Holding > maxH {
+			maxH = r.Holding
+		}
+	}
+	if maxH < 10 {
+		t.Fatalf("pareto max = %g, expected a heavy tail", maxH)
+	}
+}
+
+func TestMatrixPoissonValidation(t *testing.T) {
+	m := NewUniformMatrix(3)
+	for name, cfg := range map[string]MatrixConfig{
+		"nilMatrix": {ArrivalRate: 1, MeanHolding: 1, Count: 1},
+		"rate":      {Matrix: m, ArrivalRate: 0, MeanHolding: 1, Count: 1},
+		"holding":   {Matrix: m, ArrivalRate: 1, MeanHolding: 0, Count: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			MatrixPoisson(cfg)
+		}()
+	}
+	// A matrix with no positive entries panics.
+	empty := &Matrix{Weight: [][]float64{{0, 0}, {0, 0}}}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty matrix should panic")
+		}
+	}()
+	MatrixPoisson(MatrixConfig{Matrix: empty, ArrivalRate: 1, MeanHolding: 1, Count: 1})
+}
+
+func TestMatrixPoissonDeterministic(t *testing.T) {
+	m := NewGravityMatrix([]float64{3, 2, 1})
+	cfg := MatrixConfig{Matrix: m, ArrivalRate: 2, MeanHolding: 1, Count: 100, Seed: 4}
+	a := MatrixPoisson(cfg)
+	b := MatrixPoisson(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
