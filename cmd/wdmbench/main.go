@@ -14,6 +14,8 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -22,7 +24,33 @@ func main() {
 	seeds := flag.Int("seeds", 0, "override the number of random repetitions")
 	list := flag.Bool("list", false, "list experiments and exit")
 	format := flag.String("format", "text", "output format: text, markdown, csv")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file (.json → JSON, else Prometheus text)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (and /metrics) on this address, e.g. localhost:6060")
+	version := cli.VersionFlag()
 	flag.Parse()
+	cli.HandleVersion(*version)
+
+	var reg *metrics.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = cli.EnableAllMetrics()
+	}
+	if *pprofAddr != "" {
+		addr, err := cli.StartPprof(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof + /metrics listening on http://%s\n", addr)
+	}
+	writeMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	render := func(tb *bench.Table) string {
 		switch *format {
@@ -50,9 +78,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(render(tb))
+		writeMetrics()
 		return
 	}
 	for _, tb := range bench.All(opts) {
 		fmt.Println(render(tb))
 	}
+	writeMetrics()
 }

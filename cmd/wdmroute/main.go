@@ -46,7 +46,9 @@ func main() {
 	s := flag.Int("s", 0, "source node")
 	t := flag.Int("t", 13, "destination node")
 	algo := flag.String("algo", "min-cost", "routing algorithm")
+	version := cli.VersionFlag()
 	flag.Parse()
+	cli.HandleVersion(*version)
 
 	var net *wdm.Network
 	var err error

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -32,7 +33,27 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	traffic := flag.String("traffic", "uniform", "endpoint model: uniform, gravity")
 	holding := flag.String("holding", "exp", "holding-time distribution: exp, det, pareto")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file (.json → JSON, else Prometheus text)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (and /metrics) on this address, e.g. localhost:6060")
+	summaryOut := flag.String("summary-out", "", "write a structured JSON run summary (config + stats + metrics) to this file")
+	version := cli.VersionFlag()
 	flag.Parse()
+	cli.HandleVersion(*version)
+
+	// Instrumentation is default-off; any observability flag switches the
+	// whole engine's metrics on.
+	var reg *metrics.Registry
+	if *metricsOut != "" || *pprofAddr != "" || *summaryOut != "" {
+		reg = cli.EnableAllMetrics()
+	}
+	if *pprofAddr != "" {
+		addr, err := cli.StartPprof(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pprof + /metrics listening on http://%s\n", addr)
+	}
 
 	net, err := cli.BuildTopology(*topoName, *n, *w, *seed)
 	if err != nil {
@@ -59,14 +80,15 @@ func main() {
 		ReconfigThreshold: *reconfigTh,
 		ReconfigCooldown:  0.2,
 	}
+	var traceRec *trace.JSONL
 	if *tracePath != "" {
 		fh, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer fh.Close()
-		simCfg.Trace = trace.NewJSONL(fh)
+		traceRec = trace.NewJSONL(fh)
+		simCfg.Trace = traceRec
 	}
 	sim := netsim.New(net, simCfg)
 	var matrix *workload.Matrix
@@ -105,6 +127,14 @@ func main() {
 	})
 	m := sim.Run(reqs)
 
+	if traceRec != nil {
+		if err := traceRec.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: trace file %s incomplete: %v\n", *tracePath, err)
+		} else if err := sim.TraceErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: trace file %s incomplete: %v\n", *tracePath, err)
+		}
+	}
+
 	fmt.Printf("scenario        %s, n=%d, W=%d, %s routing, %s restoration\n",
 		*topoName, net.Nodes(), *w, algorithm, restoration)
 	fmt.Printf("offered         %d requests at %.4g Erlang over horizon %.4g\n",
@@ -128,6 +158,26 @@ func main() {
 		}
 		if m.RecoveryWork.N() > 0 {
 			fmt.Printf("recovery work   %s links signalled per recovery\n", m.RecoveryWork.String())
+		}
+	}
+
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *summaryOut != "" {
+		cfg := map[string]any{
+			"topo": *topoName, "n": net.Nodes(), "w": *w,
+			"erlang": *erlang, "count": *count, "seed": *seed,
+			"algo": algorithm.String(), "restore": restoration.String(),
+			"failures": *failures, "repair": *repair,
+			"reconfig": *reconfigTh, "traffic": *traffic, "holding": *holding,
+		}
+		if err := cli.WriteSummary(*summaryOut, cfg, cli.SummarizeSim(m), reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

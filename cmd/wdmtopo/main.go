@@ -28,7 +28,9 @@ func main() {
 	w := flag.Int("w", 8, "wavelengths per fiber")
 	seed := flag.Int64("seed", 1, "seed for random topologies")
 	format := flag.String("format", "stats", "output: stats, dot, json")
+	version := cli.VersionFlag()
 	flag.Parse()
+	cli.HandleVersion(*version)
 
 	net, err := cli.LoadOrBuild(*file, *topoName, *n, *w, *seed)
 	if err != nil {

@@ -81,6 +81,7 @@ func Build(net *wdm.Network, s, t int, p Params) *Aux {
 	if s < 0 || s >= net.Nodes() || t < 0 || t >= net.Nodes() {
 		panic("auxgraph: source/destination out of range")
 	}
+	defer instr.buildTime.Stop(instr.buildTime.Start())
 	base := p.Base
 	if base == 0 {
 		base = DefaultBase
@@ -242,6 +243,9 @@ func Build(net *wdm.Network, s, t int, p Params) *Aux {
 			a.G.AddEdgeAux(a.inNode[e2], a.T, 0, -1)
 		}
 	}
+	instr.builds.Inc()
+	instr.vertices.Observe(float64(a.G.N()))
+	instr.edges.Observe(float64(a.G.M()))
 	return a
 }
 

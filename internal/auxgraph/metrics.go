@@ -1,0 +1,26 @@
+package auxgraph
+
+import "repro/internal/metrics"
+
+// instruments holds the package's metric hooks. All fields are nil until
+// EnableMetrics is called, and nil instruments are no-ops, so the layer is
+// default-off.
+type instruments struct {
+	builds    *metrics.Counter
+	buildTime *metrics.Timer
+	vertices  *metrics.Histogram
+	edges     *metrics.Histogram
+}
+
+var instr instruments
+
+// EnableMetrics registers the package's instruments on r and routes all
+// subsequent Build calls through them. A nil registry disables them again.
+func EnableMetrics(r *metrics.Registry) {
+	instr = instruments{
+		builds:    r.Counter("auxgraph_builds_total", "auxiliary graphs constructed"),
+		buildTime: r.Timer("auxgraph_build_seconds", "auxiliary graph construction time"),
+		vertices:  r.Histogram("auxgraph_vertices", "vertex count per auxiliary graph", metrics.SizeBuckets()),
+		edges:     r.Histogram("auxgraph_edges", "edge count per auxiliary graph", metrics.SizeBuckets()),
+	}
+}

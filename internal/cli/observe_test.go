@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/auxgraph"
+	"repro/internal/core"
+	"repro/internal/disjoint"
+	"repro/internal/netsim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func disableAll() {
+	auxgraph.EnableMetrics(nil)
+	disjoint.EnableMetrics(nil)
+	core.EnableMetrics(nil)
+	netsim.EnableMetrics(nil)
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("empty version")
+	}
+	// Module path is baked in by the toolchain under `go test`.
+	if !strings.Contains(v, "repro") {
+		t.Fatalf("version %q lacks module path", v)
+	}
+}
+
+func TestEnableAllMetricsCoversEngine(t *testing.T) {
+	reg := EnableAllMetrics()
+	defer disableAll()
+
+	net := topo.NSFNET(topo.Config{W: 4})
+	sim := netsim.New(net, netsim.Config{Algorithm: netsim.MinCost, Restoration: netsim.Active, Seed: 1})
+	sim.Run(workload.Poisson(workload.PoissonConfig{
+		Nodes: 14, ArrivalRate: 10, MeanHolding: 1, Count: 50, Seed: 1,
+	}))
+
+	names := map[string]bool{}
+	for _, s := range reg.Snapshot() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"auxgraph_builds_total",
+		"disjoint_suurballe_calls_total",
+		"core_route_calls_total",
+		"netsim_route_seconds",
+	} {
+		if !names[want] {
+			t.Fatalf("metric %s not registered (have %v)", want, names)
+		}
+	}
+}
+
+func TestStartPprofServesMetricsAndPprof(t *testing.T) {
+	reg := EnableAllMetrics()
+	defer disableAll()
+	reg.Counter("smoke_total", "").Inc()
+
+	addr, err := StartPprof("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "smoke_total 1") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof endpoint empty")
+	}
+}
+
+func TestWriteSummaryRoundTrip(t *testing.T) {
+	reg := EnableAllMetrics()
+	defer disableAll()
+
+	net := topo.NSFNET(topo.Config{W: 4})
+	sim := netsim.New(net, netsim.Config{Algorithm: netsim.MinCost, Restoration: netsim.Active, Seed: 1})
+	m := sim.Run(workload.Poisson(workload.PoissonConfig{
+		Nodes: 14, ArrivalRate: 10, MeanHolding: 1, Count: 40, Seed: 2,
+	}))
+
+	path := filepath.Join(t.TempDir(), "summary.json")
+	cfg := map[string]any{"topo": "nsfnet", "w": 4}
+	if err := WriteSummary(path, cfg, SummarizeSim(m), reg); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got RunSummary
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("summary not valid JSON: %v", err)
+	}
+	if got.Version == "" {
+		t.Fatal("summary missing version")
+	}
+	stats, ok := got.Stats.(map[string]any)
+	if !ok {
+		t.Fatalf("stats shape: %T", got.Stats)
+	}
+	if int(stats["offered"].(float64)) != m.Offered {
+		t.Fatalf("offered = %v, want %d", stats["offered"], m.Offered)
+	}
+	if len(got.Metrics) == 0 {
+		t.Fatal("summary missing metrics snapshot")
+	}
+}

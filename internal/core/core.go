@@ -120,6 +120,7 @@ func firstFit(net *wdm.Network, route []int) (*wdm.Semilightpath, float64) {
 // assignment for one of the routes (possible only with restricted
 // converters).
 func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *Options) (*Result, bool) {
+	defer instr.phaseRefine.Stop(instr.phaseRefine.Start())
 	res := &Result{AuxWeight: pair.Weight}
 	paths := make([]*wdm.Semilightpath, 2)
 	naiveTotal := 0.0
@@ -141,11 +142,15 @@ func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *
 		case naive != nil:
 			paths[i] = naive
 			res.Cost += nc
+			instr.firstFitFallbacks.Inc()
 		default:
 			return nil, false
 		}
 	}
 	res.NaiveCost = naiveTotal
+	if !math.IsInf(naiveTotal, 1) && naiveTotal > 0 {
+		instr.refineRatio.Observe(res.Cost / naiveTotal)
+	}
 	res.Primary, res.Backup = paths[0], paths[1]
 	// Order so the cheaper path serves as primary.
 	if res.Backup.Cost(net) < res.Primary.Cost(net) {
@@ -160,12 +165,21 @@ func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *
 // exist in the residual network (or refinement is infeasible under
 // restricted conversion).
 func ApproxMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	instr.routeCalls.Inc()
+	tb := instr.phaseBuild.Start()
 	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.Cost})
+	instr.phaseBuild.Stop(tb)
+	td := instr.phaseDisjoint.Start()
 	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
+	instr.phaseDisjoint.Stop(td)
 	if !ok {
 		return nil, false
 	}
-	return mapAndRefine(net, a, pair, opts)
+	res, ok := mapAndRefine(net, a, pair, opts)
+	if ok {
+		instr.routeFound.Inc()
+	}
+	return res, ok
 }
 
 // ApproxMinCostNodeDisjoint routes (s, t) with an internally node-disjoint
@@ -174,8 +188,13 @@ func ApproxMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 // machinery with a unit-capacity hub gadget per intermediate node in the
 // auxiliary graph. ok is false when no node-disjoint pair exists.
 func ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	instr.routeCalls.Inc()
+	tb := instr.phaseBuild.Start()
 	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.Cost, NodeDisjoint: true})
+	instr.phaseBuild.Stop(tb)
+	td := instr.phaseDisjoint.Start()
 	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
+	instr.phaseDisjoint.Stop(td)
 	if !ok {
 		return nil, false
 	}
@@ -188,6 +207,7 @@ func ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int, opts *Options) (*Resu
 	if !nodesDisjoint(net, res.Primary, res.Backup, s, t) {
 		return nil, false
 	}
+	instr.routeFound.Inc()
 	return res, true
 }
 
@@ -235,7 +255,9 @@ func thetaBounds(net *wdm.Network) (lo, hi float64, any bool) {
 // that threshold, and the round count. The doubling schedule yields the
 // Theorem 3 load ratio < 3: a success at ϑ after a failure at ϑ−δ implies
 // ϑ* > ϑ−δ while δ ≤ 2·(ϑ−δ−ϑ_min) + Δ/2^{j₀}.
-func minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, opts *Options) (float64, *auxgraph.Aux, *disjoint.Pair, int, bool) {
+func minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, opts *Options) (theta float64, aOut *auxgraph.Aux, pairOut *disjoint.Pair, iters int, ok bool) {
+	defer instr.phaseMinCog.Stop(instr.phaseMinCog.Start())
+	defer func() { instr.mincogIters.Observe(float64(iters)) }()
 	lo, hi, any := thetaBounds(net)
 	if !any {
 		return 0, nil, nil, 0, false
@@ -246,7 +268,6 @@ func minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, opts *Options)
 		return a, pair, ok
 	}
 	delta := hi - lo
-	iters := 0
 	if delta <= 1e-12 {
 		// Uniform loads: the only meaningful graph is the full residual one.
 		a, pair, ok := try(hi)
@@ -257,7 +278,7 @@ func minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, opts *Options)
 		j0 = 0
 	}
 	inc := delta / math.Pow(2, float64(j0))
-	theta := lo
+	theta = lo
 	maxIter := opts.maxIter()
 	for iters < maxIter {
 		iters++
@@ -284,6 +305,7 @@ func minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, opts *Options)
 // the MinCog search over G_c (exponential congestion weights) and return the
 // refined pair found at that bound.
 func MinLoad(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	instr.routeCalls.Inc()
 	theta, a, pair, iters, ok := minCogSearch(net, s, t, auxgraph.Load, opts)
 	if !ok {
 		return nil, false
@@ -294,6 +316,7 @@ func MinLoad(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 	}
 	res.Threshold = theta
 	res.Iterations = iters
+	instr.routeFound.Inc()
 	return res, true
 }
 
@@ -302,12 +325,17 @@ func MinLoad(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 // (same filter, average-cost weights) and routes minimum-cost within the
 // bound.
 func MinLoadCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	instr.routeCalls.Inc()
 	theta, _, _, iters, ok := minCogSearch(net, s, t, auxgraph.Load, opts)
 	if !ok {
 		return nil, false
 	}
+	tb := instr.phaseBuild.Start()
 	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: theta, Base: opts.base()})
+	instr.phaseBuild.Stop(tb)
+	td := instr.phaseDisjoint.Start()
 	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
+	instr.phaseDisjoint.Stop(td)
 	if !ok {
 		// ϑ was certified feasible on the identical G_c skeleton; reaching
 		// here means numerics only. Fall back to the full residual graph.
@@ -323,6 +351,7 @@ func MinLoadCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 	}
 	res.Threshold = theta
 	res.Iterations = iters
+	instr.routeFound.Inc()
 	return res, true
 }
 
@@ -330,6 +359,7 @@ func MinLoadCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 // remove its physical links, route a second one. It can fail on trap
 // topologies where ApproxMinCost succeeds, and is never cheaper.
 func TwoStepMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
+	instr.routeCalls.Inc()
 	p1, c1, ok := lightpath.Optimal(net, s, t, nil)
 	if !ok {
 		return nil, false
@@ -351,6 +381,7 @@ func TwoStepMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 		NaiveCost: c1 + c2,
 	}
 	res.PathLoad = pathLoad(net, p1, p2)
+	instr.routeFound.Inc()
 	return res, true
 }
 

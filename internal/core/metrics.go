@@ -1,0 +1,43 @@
+package core
+
+import "repro/internal/metrics"
+
+// instruments holds the package's metric hooks; nil (the default) means off.
+type instruments struct {
+	routeCalls *metrics.Counter
+	routeFound *metrics.Counter
+
+	// Per-phase timing of the §3.3 pipeline: aux-graph build → Suurballe →
+	// Lemma 2 refinement, plus the §4.1 MinCog threshold search as a whole.
+	phaseBuild    *metrics.Timer
+	phaseDisjoint *metrics.Timer
+	phaseRefine   *metrics.Timer
+	phaseMinCog   *metrics.Timer
+
+	// mincogIters is the theta-iteration count per MinCog search.
+	mincogIters *metrics.Histogram
+	// refineRatio is refined cost / first-fit cost per routed pair (≤ 1 by
+	// Lemma 2; how far below 1 measures what the refinement buys).
+	refineRatio *metrics.Histogram
+	// firstFitFallbacks counts routes kept on the first-fit assignment
+	// because the refinement was infeasible (restricted converters).
+	firstFitFallbacks *metrics.Counter
+}
+
+var instr instruments
+
+// EnableMetrics registers the package's instruments on r and routes all
+// subsequent routing calls through them. A nil registry disables them.
+func EnableMetrics(r *metrics.Registry) {
+	instr = instruments{
+		routeCalls:        r.Counter("core_route_calls_total", "routing requests handled"),
+		routeFound:        r.Counter("core_route_found_total", "routing requests that found a disjoint pair"),
+		phaseBuild:        r.Timer("core_phase_build_seconds", "aux-graph build phase time (cost pipeline)"),
+		phaseDisjoint:     r.Timer("core_phase_disjoint_seconds", "Suurballe phase time (cost pipeline)"),
+		phaseRefine:       r.Timer("core_phase_refine_seconds", "Lemma 2 refinement phase time"),
+		phaseMinCog:       r.Timer("core_phase_mincog_seconds", "MinCog threshold search phase time"),
+		mincogIters:       r.Histogram("core_mincog_iterations", "theta iterations per MinCog search", metrics.LogBuckets(1, 128, 4)),
+		refineRatio:       r.Histogram("core_refine_improvement_ratio", "refined cost / first-fit cost per pair", metrics.LogBuckets(0.125, 8, 9)),
+		firstFitFallbacks: r.Counter("core_firstfit_fallback_total", "routes kept on first-fit because refinement was infeasible"),
+	}
+}

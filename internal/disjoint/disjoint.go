@@ -28,8 +28,12 @@ func Suurballe(g *graph.Graph, s, t int) (*Pair, bool) {
 	if s == t {
 		return nil, false
 	}
+	instr.calls.Inc()
+	defer instr.time.Stop(instr.time.Start())
 	// Pass 1: shortest-path distances for the potentials.
 	d1 := g.Dijkstra(s)
+	instr.relaxations.Add(d1.Relaxations)
+	instr.heapOps.Add(d1.HeapOps)
 	if !d1.Reached(t) {
 		return nil, false
 	}
@@ -64,12 +68,18 @@ func Suurballe(g *graph.Graph, s, t int) (*Pair, bool) {
 	}
 
 	d2 := h.Dijkstra(s)
+	instr.relaxations.Add(d2.Relaxations)
+	instr.heapOps.Add(d2.HeapOps)
 	if !d2.Reached(t) {
 		return nil, false
 	}
 	q := d2.PathTo(t, h)
 
-	return combine(g, s, t, p1, q, h)
+	pair, ok := combine(g, s, t, p1, q, h)
+	if ok {
+		instr.found.Inc()
+	}
+	return pair, ok
 }
 
 // Bhandari computes the same optimum as Suurballe but runs Bellman–Ford on a

@@ -1,0 +1,26 @@
+package disjoint
+
+import "repro/internal/metrics"
+
+// instruments holds the package's metric hooks; nil (the default) means off.
+type instruments struct {
+	calls       *metrics.Counter
+	found       *metrics.Counter
+	relaxations *metrics.Counter
+	heapOps     *metrics.Counter
+	time        *metrics.Timer
+}
+
+var instr instruments
+
+// EnableMetrics registers the package's instruments on r and routes all
+// subsequent Suurballe calls through them. A nil registry disables them.
+func EnableMetrics(r *metrics.Registry) {
+	instr = instruments{
+		calls:       r.Counter("disjoint_suurballe_calls_total", "Suurballe invocations"),
+		found:       r.Counter("disjoint_suurballe_found_total", "Suurballe invocations that found a pair"),
+		relaxations: r.Counter("disjoint_dijkstra_relaxations_total", "edge relaxation attempts across both Dijkstra passes"),
+		heapOps:     r.Counter("disjoint_heap_ops_total", "heap pushes/decreases/pops across both Dijkstra passes"),
+		time:        r.Timer("disjoint_suurballe_seconds", "Suurballe end-to-end time"),
+	}
+}

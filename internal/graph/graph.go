@@ -156,6 +156,12 @@ type PathResult struct {
 	Dist     []float64 // Dist[v] = shortest distance from source, Inf if unreachable
 	PrevEdge []int     // PrevEdge[v] = edge ID used to reach v, -1 at source/unreachable
 	Source   int
+	// Search-effort counters, filled by Dijkstra: Relaxations is the number
+	// of edge relaxation attempts (enabled edges scanned), HeapOps the
+	// number of heap pushes, decreases, and pops — the measured constants
+	// behind the paper's m log n term.
+	Relaxations int64
+	HeapOps     int64
 }
 
 // Reached reports whether v is reachable from the source.
@@ -202,8 +208,10 @@ func (g *Graph) Dijkstra(src int) *PathResult {
 	res.Dist[src] = 0
 	h := pq.NewIndexedHeap(g.n)
 	h.Push(src, 0)
+	res.HeapOps++
 	for !h.Empty() {
 		u, du := h.Pop()
+		res.HeapOps++
 		if du > res.Dist[u] {
 			continue
 		}
@@ -215,11 +223,13 @@ func (g *Graph) Dijkstra(src int) *PathResult {
 			if e.Weight < 0 {
 				panic(fmt.Sprintf("graph: Dijkstra on negative edge %d (weight %g)", id, e.Weight))
 			}
+			res.Relaxations++
 			nd := du + e.Weight
 			if nd < res.Dist[e.To] {
 				res.Dist[e.To] = nd
 				res.PrevEdge[e.To] = id
 				h.PushOrDecrease(e.To, nd)
+				res.HeapOps++
 			}
 		}
 	}

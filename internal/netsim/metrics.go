@@ -1,0 +1,36 @@
+package netsim
+
+import "repro/internal/metrics"
+
+// instruments holds the package's metric hooks; nil (the default) means off.
+// All times are wall-clock computation latency, not simulated time — the
+// simulator's own clock lives in Metrics.
+type instruments struct {
+	routeTime   *metrics.Timer
+	established *metrics.Counter
+	blocked     *metrics.Counter
+	teardowns   *metrics.Counter
+	failures    *metrics.Counter
+	restoreTime *metrics.Timer
+	restored    *metrics.Counter
+	dropped     *metrics.Counter
+	reconfigs   *metrics.Counter
+}
+
+var instr instruments
+
+// EnableMetrics registers the package's instruments on r and routes all
+// subsequent simulator activity through them. A nil registry disables them.
+func EnableMetrics(r *metrics.Registry) {
+	instr = instruments{
+		routeTime:   r.Timer("netsim_route_seconds", "per-request routing computation latency"),
+		established: r.Counter("netsim_established_total", "connections established"),
+		blocked:     r.Counter("netsim_blocked_total", "requests blocked"),
+		teardowns:   r.Counter("netsim_teardown_total", "connections torn down at departure"),
+		failures:    r.Counter("netsim_failures_total", "link failure events"),
+		restoreTime: r.Timer("netsim_restore_seconds", "per-connection restoration computation latency"),
+		restored:    r.Counter("netsim_restored_total", "connections recovered after a failure"),
+		dropped:     r.Counter("netsim_dropped_total", "connections lost to an unrecovered failure"),
+		reconfigs:   r.Counter("netsim_reconfigs_total", "reconfiguration events triggered"),
+	}
+}

@@ -235,6 +235,7 @@ type Sim struct {
 	failIdx      int  // round-robin cursor into cfg.FailureLinks
 	overTh       bool // ρ was ≥ threshold at the last check (crossing detector)
 	lastT        float64
+	traceErr     error // first error the trace recorder returned
 	m            Metrics
 }
 
@@ -267,13 +268,22 @@ func (s *Sim) push(e event) {
 	s.q.Push(len(s.events)-1, e.time)
 }
 
-// emit records a trace event when tracing is enabled.
+// emit records a trace event when tracing is enabled. Trace failures never
+// abort the simulation; the first one is kept and reported via TraceErr.
 func (s *Sim) emit(kind trace.Kind, connID, link int, detail string) {
 	if s.cfg.Trace == nil {
 		return
 	}
-	s.cfg.Trace.Record(trace.Event{Time: s.lastT, Kind: kind, Conn: connID, Link: link, Detail: detail})
+	err := s.cfg.Trace.Record(trace.Event{Time: s.lastT, Kind: kind, Conn: connID, Link: link, Detail: detail})
+	if err != nil && s.traceErr == nil {
+		s.traceErr = err
+	}
 }
+
+// TraceErr returns the first error the trace recorder reported, or nil. A
+// non-nil result means the event stream on disk is incomplete even though
+// the simulation itself finished normally.
+func (s *Sim) TraceErr() error { return s.traceErr }
 
 // Run processes the request stream to completion (all arrivals, departures,
 // failures and repairs) and returns the metrics.
@@ -348,11 +358,14 @@ func (s *Sim) handleArrival(r workload.Request) {
 				return s.cfg.RouteFunc(net, a, b)
 			}
 		}
+		rt := instr.routeTime.Start()
 		res, ok := route(s.net, r.Src, r.Dst, s.cfg.Opts)
+		instr.routeTime.Stop(rt)
 		if !ok || core.Establish(s.net, res) != nil {
 			if measured {
 				s.m.Blocked++
 			}
+			instr.blocked.Inc()
 			s.emit(trace.Block, r.ID, -1, "")
 			return
 		}
@@ -363,11 +376,14 @@ func (s *Sim) handleArrival(r workload.Request) {
 		}
 		s.emit(trace.Accept, r.ID, -1, fmt.Sprintf("cost=%.4g", res.Cost))
 	case Passive:
+		rt := instr.routeTime.Start()
 		p, cost, ok := lightpath.Optimal(s.net, r.Src, r.Dst, nil)
+		instr.routeTime.Stop(rt)
 		if !ok || s.net.Reserve(p) != nil {
 			if measured {
 				s.m.Blocked++
 			}
+			instr.blocked.Inc()
 			s.emit(trace.Block, r.ID, -1, "")
 			return
 		}
@@ -377,6 +393,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 		}
 		s.emit(trace.Accept, r.ID, -1, fmt.Sprintf("cost=%.4g", cost))
 	}
+	instr.established.Inc()
 	if measured {
 		s.m.Accepted++
 		s.m.Hops.Add(float64(c.primary.Len()))
@@ -395,6 +412,7 @@ func (s *Sim) handleDeparture(id int) {
 		return // dropped earlier by an unrecovered failure
 	}
 	delete(s.conns, id)
+	instr.teardowns.Inc()
 	s.emit(trace.Depart, id, -1, "")
 	s.m.Availability.Add(1)
 	s.releasePath(c.primary)
@@ -446,6 +464,7 @@ func (s *Sim) handleFailure() {
 		link = up[s.rng.Intn(len(up))]
 	}
 	s.m.FailureEvents++
+	instr.failures.Inc()
 	s.emit(trace.Failure, -1, link, "")
 	s.down[link] = true
 	// Quarantine the link: lock all still-available wavelengths.
@@ -507,6 +526,7 @@ func (s *Sim) reprotect(c *conn) {
 
 // restore recovers a connection whose primary crossed the failed link.
 func (s *Sim) restore(c *conn, failedLink int) {
+	defer instr.restoreTime.Stop(instr.restoreTime.Start())
 	s.releasePath(c.primary)
 	c.primary = nil
 	if c.backup != nil {
@@ -521,6 +541,7 @@ func (s *Sim) restore(c *conn, failedLink int) {
 		}
 		c.primary, c.backup = c.backup, nil
 		s.m.Recovered++
+		instr.restored.Inc()
 		s.m.RecoveryWork.Add(0)
 		s.emit(trace.Switchover, c.id, failedLink, "")
 		s.reprotect(c)
@@ -534,12 +555,14 @@ func (s *Sim) restore(c *conn, failedLink int) {
 	}
 	c.primary = p
 	s.m.Recovered++
+	instr.restored.Inc()
 	s.m.RecoveryWork.Add(float64(p.Len()))
 	s.emit(trace.Reroute, c.id, failedLink, "passive-restore")
 }
 
 func (s *Sim) dropConn(c *conn) {
 	s.m.RecoveryFailed++
+	instr.dropped.Inc()
 	delete(s.conns, c.id)
 	if !math.IsInf(c.holding, 1) && c.holding > 0 {
 		served := (s.lastT - c.arrived) / c.holding
@@ -589,6 +612,7 @@ func (s *Sim) maybeReconfigure(t float64) {
 	s.overTh = true
 	s.lastReconfig = t
 	s.m.Reconfigs++
+	instr.reconfigs.Inc()
 	s.emit(trace.Reconfig, -1, -1, fmt.Sprintf("rho=%.3f", rho))
 	// Most loaded link.
 	worst, rho := -1, -1.0

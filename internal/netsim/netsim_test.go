@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -372,6 +373,53 @@ func TestTraceRecordsLifecycle(t *testing.T) {
 			t.Fatal("trace timestamps not monotone")
 		}
 		prev = e.Time
+	}
+}
+
+func TestEmitNilRecorderSafe(t *testing.T) {
+	// Config.Trace left nil: every emit call site must be a no-op, and a
+	// full run (arrivals, departures, failures, reconfigs) must not panic.
+	sim := New(nsf(4), Config{
+		Algorithm: MinCost, Restoration: Active,
+		FailureRate: 1, RepairTime: 2, Seed: 5,
+		ReconfigThreshold: 0.5, ReconfigCooldown: 0.2,
+	})
+	sim.emit(trace.Arrival, 1, -1, "direct call") // the guard itself
+	m := sim.Run(poisson(14, 200, 25, 11))
+	if m.Offered != 200 {
+		t.Fatalf("offered = %d", m.Offered)
+	}
+	if err := sim.TraceErr(); err != nil {
+		t.Fatalf("TraceErr = %v with no recorder", err)
+	}
+}
+
+// errAfter fails every Record after the first n successes.
+type errAfter struct {
+	n   int
+	err error
+}
+
+func (r *errAfter) Record(trace.Event) error {
+	if r.n > 0 {
+		r.n--
+		return nil
+	}
+	return r.err
+}
+
+func TestTraceErrCapturesFirstFailure(t *testing.T) {
+	sinkErr := errors.New("sink gone")
+	sim := New(nsf(4), Config{
+		Algorithm: MinCost, Restoration: Active, Seed: 1,
+		Trace: &errAfter{n: 10, err: sinkErr},
+	})
+	m := sim.Run(poisson(14, 100, 10, 2))
+	if m.Offered != 100 {
+		t.Fatal("trace failure aborted the simulation")
+	}
+	if !errors.Is(sim.TraceErr(), sinkErr) {
+		t.Fatalf("TraceErr = %v, want %v", sim.TraceErr(), sinkErr)
 	}
 }
 

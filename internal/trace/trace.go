@@ -5,6 +5,7 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -41,11 +42,14 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// Recorder consumes events. Implementations must be safe for use from a
-// single goroutine (the simulator is sequential); Tee and Buffer are
-// additionally safe for concurrent use.
+// Recorder consumes events. Record reports encoding/transport failures so
+// callers can surface them instead of losing trace data silently; the
+// simulator never aborts on a trace error, it records the first one (see
+// netsim.Sim.TraceErr). Implementations must be safe for use from a single
+// goroutine (the simulator is sequential); Tee and Buffer are additionally
+// safe for concurrent use.
 type Recorder interface {
-	Record(Event)
+	Record(Event) error
 }
 
 // Buffer is an in-memory recorder for tests and summaries.
@@ -54,11 +58,12 @@ type Buffer struct {
 	events []Event
 }
 
-// Record implements Recorder.
-func (b *Buffer) Record(e Event) {
+// Record implements Recorder; it never fails.
+func (b *Buffer) Record(e Event) error {
 	b.mu.Lock()
 	b.events = append(b.events, e)
 	b.mu.Unlock()
+	return nil
 }
 
 // Events returns a copy of everything recorded so far.
@@ -85,20 +90,56 @@ func (b *Buffer) Count(kind Kind) int {
 	return n
 }
 
-// JSONL writes each event as one JSON line.
+// JSONL writes each event as one JSON line through an internal buffer.
+// Call Flush (or Close) when done, or trailing events stay in the buffer.
 type JSONL struct {
+	w   io.Writer // the writer given to NewJSONL, for Close
+	bw  *bufio.Writer
 	enc *json.Encoder
+	err error // first error observed; once set, Record is a no-op
 }
 
 // NewJSONL returns a recorder writing to w.
 func NewJSONL(w io.Writer) *JSONL {
-	return &JSONL{enc: json.NewEncoder(w)}
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: w, bw: bw, enc: json.NewEncoder(bw)}
 }
 
-// Record implements Recorder. Encoding errors are silently dropped (tracing
-// must never abort a simulation); use a failing-writer test to observe them.
-func (j *JSONL) Record(e Event) {
-	_ = j.enc.Encode(e)
+// Record implements Recorder. After the first failure every subsequent call
+// returns the same error without writing, so a dead sink costs one syscall
+// total rather than one per event.
+func (j *JSONL) Record(e Event) error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.enc.Encode(e); err != nil {
+		j.err = fmt.Errorf("trace: %w", err)
+	}
+	return j.err
+}
+
+// Err returns the first error Record or Flush observed, if any.
+func (j *JSONL) Err() error { return j.err }
+
+// Flush drains the internal buffer to the underlying writer.
+func (j *JSONL) Flush() error {
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = fmt.Errorf("trace: %w", err)
+	}
+	return j.err
+}
+
+// Close flushes and, when the underlying writer is an io.Closer (e.g. an
+// *os.File), closes it. The first error wins.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	if c, ok := j.w.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", cerr)
+			j.err = err
+		}
+	}
+	return err
 }
 
 // ReadJSONL parses a JSONL stream back into events.
@@ -116,19 +157,24 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 	}
 }
 
-// Tee fans events out to several recorders.
+// Tee fans events out to several recorders. Every recorder sees every event;
+// Record returns the first error encountered.
 func Tee(rs ...Recorder) Recorder { return tee(rs) }
 
 type tee []Recorder
 
-func (t tee) Record(e Event) {
+func (t tee) Record(e Event) error {
+	var first error
 	for _, r := range t {
-		r.Record(e)
+		if err := r.Record(e); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // Nop discards all events.
 type Nop struct{}
 
 // Record implements Recorder.
-func (Nop) Record(Event) {}
+func (Nop) Record(Event) error { return nil }

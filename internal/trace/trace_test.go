@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -37,7 +39,12 @@ func TestJSONLRoundTrip(t *testing.T) {
 		{Time: 2, Kind: Reconfig, Detail: "rho=0.61"},
 	}
 	for _, e := range want {
-		j.Record(e)
+		if err := j.Record(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
 	}
 	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
 		t.Fatalf("lines = %d", lines)
@@ -69,8 +76,117 @@ func TestReadJSONLBadInput(t *testing.T) {
 func TestTeeAndNop(t *testing.T) {
 	var a, b Buffer
 	r := Tee(&a, &b, Nop{})
-	r.Record(Event{Kind: Drop})
+	if err := r.Record(Event{Kind: Drop}); err != nil {
+		t.Fatal(err)
+	}
 	if a.Count(Drop) != 1 || b.Count(Drop) != 1 {
 		t.Fatal("tee did not fan out")
+	}
+}
+
+// failWriter fails every Write after the first okBytes bytes.
+type failWriter struct {
+	okBytes int
+	wrote   int
+	err     error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.wrote+len(p) > w.okBytes {
+		return 0, w.err
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+func TestJSONLFailingWriter(t *testing.T) {
+	sink := errors.New("disk full")
+	j := NewJSONL(&failWriter{okBytes: 0, err: sink})
+
+	// The internal buffer absorbs events until it fills; the write error
+	// must surface through Record by then, and stick afterwards.
+	var first error
+	for i := 0; i < 200 && first == nil; i++ {
+		first = j.Record(Event{Time: float64(i), Kind: Arrival, Conn: i})
+	}
+	if first == nil {
+		t.Fatal("failing writer never surfaced through Record")
+	}
+	if !errors.Is(first, sink) {
+		t.Fatalf("Record error = %v, want wrapped %v", first, sink)
+	}
+	if err := j.Record(Event{Kind: Accept}); !errors.Is(err, sink) {
+		t.Fatalf("error not sticky: %v", err)
+	}
+	if !errors.Is(j.Err(), sink) || !errors.Is(j.Flush(), sink) {
+		t.Fatal("Err/Flush should report the recorded failure")
+	}
+}
+
+func TestJSONLFlushSurfacesWriteError(t *testing.T) {
+	sink := errors.New("pipe closed")
+	j := NewJSONL(&failWriter{okBytes: 0, err: sink})
+	// One small event stays inside the buffer, so Record succeeds...
+	if err := j.Record(Event{Kind: Arrival}); err != nil {
+		t.Fatalf("buffered Record failed early: %v", err)
+	}
+	// ...and the failure is only observable at Flush time.
+	if err := j.Flush(); !errors.Is(err, sink) {
+		t.Fatalf("Flush = %v, want wrapped %v", err, sink)
+	}
+}
+
+// closableBuf records whether Close was called.
+type closableBuf struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (c *closableBuf) Close() error {
+	c.closed = true
+	return nil
+}
+
+func TestJSONLCloseFlushesAndCloses(t *testing.T) {
+	var sink closableBuf
+	j := NewJSONL(&sink)
+	if err := j.Record(Event{Time: 1, Kind: Accept, Conn: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatal("event bypassed the buffer")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.closed {
+		t.Fatal("Close did not close the underlying writer")
+	}
+	evs, err := ReadJSONL(&sink)
+	if err != nil || len(evs) != 1 || evs[0].Conn != 9 {
+		t.Fatalf("after Close: events %v, err %v", evs, err)
+	}
+}
+
+func TestBufferConcurrentRecord(t *testing.T) {
+	const workers, perWorker = 8, 500
+	var b Buffer
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				_ = b.Record(Event{Time: float64(i), Kind: Arrival, Conn: w})
+				if i%64 == 0 {
+					_ = b.Events() // interleave reads with writes
+					_ = b.Count(Arrival)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Count(""); got != workers*perWorker {
+		t.Fatalf("recorded %d events, want %d", got, workers*perWorker)
 	}
 }
