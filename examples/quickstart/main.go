@@ -28,8 +28,11 @@ func main() {
 	}
 
 	// Route a robust connection 0 → 5: two edge-disjoint semilightpaths
-	// minimising the total cost (§3.3 of the paper).
-	route, ok := repro.ApproxMinCost(net, 0, 5, nil)
+	// minimising the total cost (§3.3 of the paper). A Router reuses its
+	// internal graph structures across requests; for a single request,
+	// repro.ApproxMinCost(net, 0, 5, nil) is equivalent.
+	router := repro.NewRouter(nil)
+	route, ok := router.ApproxMinCost(net, 0, 5)
 	if !ok {
 		log.Fatal("no two edge-disjoint semilightpaths exist")
 	}
@@ -47,7 +50,7 @@ func main() {
 
 	// A second request now sees the residual network and routes around the
 	// reserved capacity.
-	route2, ok := repro.MinLoadCost(net, 3, 2, nil)
+	route2, ok := router.MinLoadCost(net, 3, 2)
 	if !ok {
 		log.Fatal("second request blocked")
 	}

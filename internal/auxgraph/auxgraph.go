@@ -1,6 +1,6 @@
 // Package auxgraph builds the edge-node auxiliary graphs of the paper. All
-// three variants share one skeleton — two edge-nodes per surviving physical
-// link (u_out^e at the tail, v_in^e at the head), a link edge between them,
+// three variants share one skeleton — two edge-nodes per physical link
+// (u_out^e at the tail, v_in^e at the head), a link edge between them,
 // conversion edges v_in^e → v_out^e' inside every node, and the special
 // terminals s′ and t″ — and differ only in the link filter and the weight
 // assignment:
@@ -14,6 +14,15 @@
 //   - LoadCost (G_rc, §4.2): the Load filter with cost weights — link edges
 //     get Σ_{λ∈Λ_avail(e)} w(e,λ)/N(e), conversion edges the mean conversion
 //     cost as in G′.
+//
+// Because the skeleton depends only on the network's structure (links,
+// installed wavelength sets, converters) and never on its residual state,
+// construction is split in two: NewSkeleton builds the full vertex and edge
+// inventory once per (net, s, t, node-disjointness), and Reweight flips the
+// Disable bits of filtered links and rewrites edge weights in place — so a
+// threshold search or a per-arrival router re-uses one skeleton instead of
+// reallocating the graph for every variant it tries. Build remains the
+// one-shot convenience wrapper (skeleton + one reweight).
 package auxgraph
 
 import (
@@ -40,7 +49,7 @@ const (
 // steeply.
 const DefaultBase = 10.0
 
-// Params configures Build.
+// Params configures Build and Reweight.
 type Params struct {
 	Kind Kind
 	// Threshold is ϑ for Load/LoadCost: links with load ≥ ϑ are dropped.
@@ -63,75 +72,117 @@ type Params struct {
 }
 
 // Aux is a built auxiliary graph together with the bookkeeping needed to map
-// paths back to the physical network.
+// paths back to the physical network. Links dropped by the current filter
+// remain in the graph as vertices with their incident edges disabled; every
+// traversal-facing accessor (OutNode, InNode, Dijkstra over G) sees exactly
+// the surviving subgraph.
 type Aux struct {
 	G *graph.Graph
 	S int // s′
 	T int // t″
 
 	net     *wdm.Network
-	outNode []int // outNode[e] = aux vertex of u_out^e, −1 if e filtered out
-	inNode  []int // inNode[e] = aux vertex of v_in^e, −1 if e filtered out
+	outNode []int  // outNode[e] = aux vertex of u_out^e
+	inNode  []int  // inNode[e] = aux vertex of v_in^e
+	keep    []bool // keep[e] = link e survives the current filter
+}
+
+// Skeleton is the reusable edge-node structure for one (net, s, t,
+// node-disjointness) tuple. It is built once with NewSkeleton and
+// re-weighted any number of times with Reweight, as long as the network's
+// structure (TopoVersion) is unchanged; reservations and releases only
+// change weights and filters, which Reweight recomputes in place.
+//
+// A Skeleton is not safe for concurrent use, and the *Aux returned by
+// Reweight aliases the skeleton: a later Reweight rewrites it in place.
+type Skeleton struct {
+	aux          Aux
+	s, t         int
+	nodeDisjoint bool
+	topoVersion  uint64
+	m            int // physical link count at build time
+
+	linkEdge []int // linkEdge[e] = aux edge ID of e's link edge
+
+	// All conversion pairs, grouped by node in construction order. Plain
+	// pairs carry their conversion edge; pairs funneled through a hub gadget
+	// carry edge -1 and are referenced by their hub's [pairLo, pairHi) range.
+	pairs    []convPair
+	pairOK   []bool    // cached avail-feasibility per pair
+	pairMean []float64 // cached mean conversion cost per pair
+	pairsAt  uint64    // StateVersion the pair cache was computed at
+	pairsOK  bool      // pair cache computed at least once
+
+	hubs     []hubGadget
+	termOut  []linkEdgeRef // s′ → u_out^e
+	termIn   []linkEdgeRef // v_in^e → t″
+	spokeIn  []linkEdgeRef // v_in^e → hub_in(v), node-disjoint only
+	spokeOut []linkEdgeRef // hub_out(v) → u_out^e, node-disjoint only
+}
+
+type convPair struct {
+	edge      int // aux edge ID, or -1 for hub-gadget pairs
+	node      int
+	ein, eout int
+}
+
+type hubGadget struct {
+	hubEdge        int // aux edge ID of hub_in(v) → hub_out(v)
+	pairLo, pairHi int // this hub's range in Skeleton.pairs
+}
+
+type linkEdgeRef struct {
+	edge int // aux edge ID
+	link int // physical link whose keep bit gates the edge
 }
 
 // Build constructs the auxiliary graph for routing from s to t on the
 // residual network. It panics on invalid s/t and never fails otherwise: an
-// unroutable request simply yields a graph in which t″ is unreachable.
+// unroutable request simply yields a graph in which t″ is unreachable. It is
+// the one-shot wrapper around NewSkeleton + Reweight; hot paths should hold
+// a Skeleton (usually via core.Router) and Reweight it instead.
 func Build(net *wdm.Network, s, t int, p Params) *Aux {
+	return NewSkeleton(net, s, t, p.NodeDisjoint).Reweight(p)
+}
+
+// NewSkeleton builds the full edge-node skeleton for (s, t): vertices and
+// edges for every physical link, conversion edges for every pair feasible
+// under the installed wavelength sets (a superset of every residual
+// feasibility), hub gadgets when nodeDisjoint, and the terminals. All edge
+// weights are unset and all filterable edges enabled until the first
+// Reweight. It panics on invalid s/t.
+func NewSkeleton(net *wdm.Network, s, t int, nodeDisjoint bool) *Skeleton {
 	if s < 0 || s >= net.Nodes() || t < 0 || t >= net.Nodes() {
 		panic("auxgraph: source/destination out of range")
 	}
 	defer instr.buildTime.Stop(instr.buildTime.Start())
-	base := p.Base
-	if base == 0 {
-		base = DefaultBase
-	}
-	if base <= 1 {
-		panic("auxgraph: exponent base must exceed 1")
-	}
-
 	m := net.Links()
-	keep := make([]bool, m)
-	for id := 0; id < m; id++ {
-		l := net.Link(id)
-		if l.Avail().Empty() {
-			continue
-		}
-		if p.Filter != nil {
-			if !p.Filter(id) {
-				continue
-			}
-		} else if (p.Kind == Load || p.Kind == LoadCost) && l.Load() >= p.Threshold {
-			continue
-		}
-		keep[id] = true
+	sk := &Skeleton{
+		s:            s,
+		t:            t,
+		nodeDisjoint: nodeDisjoint,
+		topoVersion:  net.TopoVersion(),
+		m:            m,
+		linkEdge:     make([]int, m),
 	}
+	a := &sk.aux
+	a.net = net
+	a.outNode = make([]int, m)
+	a.inNode = make([]int, m)
+	a.keep = make([]bool, m)
 
-	a := &Aux{
-		net:     net,
-		outNode: make([]int, m),
-		inNode:  make([]int, m),
-	}
-	// Vertex layout: for kept link e, out-node 2k, in-node 2k+1 (k = kept
-	// index); then s′ and t″.
-	nv := 0
+	// Vertex layout: for link e, out-node 2e, in-node 2e+1; then s′ and t″;
+	// then one hub in/out pair per intermediate node when node-disjoint.
 	for id := 0; id < m; id++ {
-		if keep[id] {
-			a.outNode[id] = nv
-			a.inNode[id] = nv + 1
-			nv += 2
-		} else {
-			a.outNode[id] = -1
-			a.inNode[id] = -1
-		}
+		a.outNode[id] = 2 * id
+		a.inNode[id] = 2*id + 1
 	}
+	nv := 2 * m
 	a.S = nv
 	a.T = nv + 1
 	nv += 2
-	// Hub gadget vertices for the node-disjoint variant: one in/out pair
-	// per intermediate physical node.
 	var hubIn, hubOut []int
-	if p.NodeDisjoint {
+	if nodeDisjoint {
 		hubIn = make([]int, net.Nodes())
 		hubOut = make([]int, net.Nodes())
 		for v := range hubIn {
@@ -148,10 +199,121 @@ func Build(net *wdm.Network, s, t int, p Params) *Aux {
 
 	// Link edges u_out^e → v_in^e.
 	for id := 0; id < m; id++ {
-		if !keep[id] {
+		sk.linkEdge[id] = a.G.AddEdgeAux(a.outNode[id], a.inNode[id], 0, id)
+	}
+
+	// Conversion edges inside each node: v_in^e → v_out^e' for every pair
+	// with at least one feasible conversion over the installed sets (pairs
+	// infeasible even at full availability can never become feasible). Under
+	// the node-disjoint variant the edges of intermediate nodes are funneled
+	// through a unit-capacity hub instead.
+	for v := 0; v < net.Nodes(); v++ {
+		conv := net.Converter(v)
+		if nodeDisjoint && v != s && v != t {
+			lo := len(sk.pairs)
+			for _, ein := range net.In(v) {
+				for _, eout := range net.Out(v) {
+					if installedFeasible(net, conv, ein, eout) {
+						sk.pairs = append(sk.pairs, convPair{edge: -1, node: v, ein: ein, eout: eout})
+					}
+				}
+			}
+			if len(sk.pairs) == lo {
+				continue // node can never be traversed
+			}
+			hubEdge := a.G.AddEdgeAux(hubIn[v], hubOut[v], 0, -1)
+			sk.hubs = append(sk.hubs, hubGadget{hubEdge: hubEdge, pairLo: lo, pairHi: len(sk.pairs)})
+			for _, ein := range net.In(v) {
+				e := a.G.AddEdgeAux(a.inNode[ein], hubIn[v], 0, -1)
+				sk.spokeIn = append(sk.spokeIn, linkEdgeRef{edge: e, link: ein})
+			}
+			for _, eout := range net.Out(v) {
+				e := a.G.AddEdgeAux(hubOut[v], a.outNode[eout], 0, -1)
+				sk.spokeOut = append(sk.spokeOut, linkEdgeRef{edge: e, link: eout})
+			}
 			continue
 		}
+		for _, ein := range net.In(v) {
+			for _, eout := range net.Out(v) {
+				if !installedFeasible(net, conv, ein, eout) {
+					continue
+				}
+				e := a.G.AddEdgeAux(a.inNode[ein], a.outNode[eout], 0, -1)
+				sk.pairs = append(sk.pairs, convPair{edge: e, node: v, ein: ein, eout: eout})
+			}
+		}
+	}
+	sk.pairOK = make([]bool, len(sk.pairs))
+	sk.pairMean = make([]float64, len(sk.pairs))
+
+	// Terminals.
+	for _, e1 := range net.Out(s) {
+		e := a.G.AddEdgeAux(a.S, a.outNode[e1], 0, -1)
+		sk.termOut = append(sk.termOut, linkEdgeRef{edge: e, link: e1})
+	}
+	for _, e2 := range net.In(t) {
+		e := a.G.AddEdgeAux(a.inNode[e2], a.T, 0, -1)
+		sk.termIn = append(sk.termIn, linkEdgeRef{edge: e, link: e2})
+	}
+	instr.builds.Inc()
+	instr.vertices.Observe(float64(a.G.N()))
+	instr.edges.Observe(float64(a.G.M()))
+	return sk
+}
+
+// Valid reports whether the network's structure is unchanged since the
+// skeleton was built — the condition under which Reweight is allowed.
+// Reservations and releases do not invalidate a skeleton.
+func (sk *Skeleton) Valid() bool { return sk.aux.net.TopoVersion() == sk.topoVersion }
+
+// Reweight recomputes the surviving-link filter and every edge weight in
+// place from the network's current residual state and returns the aux-graph
+// view. No vertices or edges are added or removed: dropped links and
+// infeasible conversions are Disabled, everything else Enabled with its
+// variant weight. The expensive availability-dependent conversion means are
+// cached per StateVersion, so a threshold search that only moves ϑ between
+// rounds pays just the O(m + conv-edges) filter pass. It panics when the
+// network structure changed since NewSkeleton (see Valid), when
+// p.NodeDisjoint disagrees with the skeleton, or on an invalid Base.
+func (sk *Skeleton) Reweight(p Params) *Aux {
+	if !sk.Valid() {
+		panic("auxgraph: network structure changed since skeleton build; build a new skeleton")
+	}
+	if p.NodeDisjoint != sk.nodeDisjoint {
+		panic("auxgraph: Params.NodeDisjoint disagrees with the skeleton")
+	}
+	base := p.Base
+	if base == 0 {
+		base = DefaultBase
+	}
+	if base <= 1 {
+		panic("auxgraph: exponent base must exceed 1")
+	}
+	defer instr.reweightTime.Stop(instr.reweightTime.Start())
+
+	net := sk.aux.net
+	g := sk.aux.G
+	keep := sk.aux.keep
+
+	// Link filter + link-edge weights.
+	for id := 0; id < sk.m; id++ {
 		l := net.Link(id)
+		k := !l.Avail().Empty()
+		if k {
+			if p.Filter != nil {
+				k = p.Filter(id)
+			} else if (p.Kind == Load || p.Kind == LoadCost) && l.Load() >= p.Threshold {
+				k = false
+			}
+		}
+		keep[id] = k
+		eid := sk.linkEdge[id]
+		if !k {
+			g.Disable(eid)
+			g.SetWeight(eid, 0)
+			continue
+		}
+		g.Enable(eid)
 		var w float64
 		switch p.Kind {
 		case Cost:
@@ -163,90 +325,94 @@ func Build(net *wdm.Network, s, t int, p Params) *Aux {
 		case LoadCost:
 			w = l.MeanInstalledCost()
 		}
-		a.G.AddEdgeAux(a.outNode[id], a.inNode[id], w, id)
+		g.SetWeight(eid, w)
 	}
 
-	// Conversion edges inside each node: v_in^e → v_out^e' when some
-	// available wavelength on e can leave on e'. Under the node-disjoint
-	// variant the edges of intermediate nodes are funneled through a
-	// unit-capacity hub instead, so edge-disjointness on the auxiliary
-	// graph enforces node-disjointness on the physical network.
-	for v := 0; v < net.Nodes(); v++ {
-		conv := net.Converter(v)
-		if p.NodeDisjoint && v != s && v != t {
-			anyPair := false
-			sum, cnt := 0.0, 0
-			for _, ein := range net.In(v) {
-				if !keep[ein] {
-					continue
-				}
-				for _, eout := range net.Out(v) {
-					if !keep[eout] {
-						continue
-					}
-					if ok, mean := meanConvCost(net, conv, ein, eout); ok {
-						anyPair = true
-						sum += mean
-						cnt++
-					}
-				}
+	// Availability-dependent conversion means, recomputed only when the
+	// residual state moved since the last Reweight.
+	if sv := net.StateVersion(); !sk.pairsOK || sk.pairsAt != sv {
+		for i, cp := range sk.pairs {
+			sk.pairOK[i], sk.pairMean[i] = meanConvCost(net, net.Converter(cp.node), cp.ein, cp.eout)
+		}
+		sk.pairsAt = sv
+		sk.pairsOK = true
+	}
+
+	costed := p.Kind == Cost || p.Kind == LoadCost
+	for i, cp := range sk.pairs {
+		if cp.edge < 0 {
+			continue // hub-gadget pair, folded into its hub edge below
+		}
+		if keep[cp.ein] && keep[cp.eout] && sk.pairOK[i] {
+			g.Enable(cp.edge)
+			if costed {
+				g.SetWeight(cp.edge, sk.pairMean[i])
+			} else {
+				g.SetWeight(cp.edge, 0)
 			}
-			if !anyPair {
-				continue // node cannot be traversed at all
+		} else {
+			g.Disable(cp.edge)
+			g.SetWeight(cp.edge, 0)
+		}
+	}
+
+	for _, hb := range sk.hubs {
+		sum, cnt := 0.0, 0
+		for i := hb.pairLo; i < hb.pairHi; i++ {
+			cp := sk.pairs[i]
+			if keep[cp.ein] && keep[cp.eout] && sk.pairOK[i] {
+				sum += sk.pairMean[i]
+				cnt++
 			}
-			var w float64
-			if p.Kind == Cost || p.Kind == LoadCost {
-				w = sum / float64(cnt)
-			}
-			a.G.AddEdgeAux(hubIn[v], hubOut[v], w, -1)
-			for _, ein := range net.In(v) {
-				if keep[ein] {
-					a.G.AddEdgeAux(a.inNode[ein], hubIn[v], 0, -1)
-				}
-			}
-			for _, eout := range net.Out(v) {
-				if keep[eout] {
-					a.G.AddEdgeAux(hubOut[v], a.outNode[eout], 0, -1)
-				}
-			}
+		}
+		if cnt == 0 {
+			g.Disable(hb.hubEdge)
+			g.SetWeight(hb.hubEdge, 0)
 			continue
 		}
-		for _, ein := range net.In(v) {
-			if !keep[ein] {
-				continue
-			}
-			for _, eout := range net.Out(v) {
-				if !keep[eout] {
-					continue
-				}
-				ok, mean := meanConvCost(net, conv, ein, eout)
-				if !ok {
-					continue
-				}
-				var w float64
-				if p.Kind == Cost || p.Kind == LoadCost {
-					w = mean
-				}
-				a.G.AddEdgeAux(a.inNode[ein], a.outNode[eout], w, -1)
+		g.Enable(hb.hubEdge)
+		if costed {
+			g.SetWeight(hb.hubEdge, sum/float64(cnt))
+		} else {
+			g.SetWeight(hb.hubEdge, 0)
+		}
+	}
+	gate := func(refs []linkEdgeRef) {
+		for _, r := range refs {
+			if keep[r.link] {
+				g.Enable(r.edge)
+			} else {
+				g.Disable(r.edge)
 			}
 		}
 	}
+	gate(sk.spokeIn)
+	gate(sk.spokeOut)
+	gate(sk.termOut)
+	gate(sk.termIn)
 
-	// Terminals.
-	for _, e1 := range net.Out(s) {
-		if keep[e1] {
-			a.G.AddEdgeAux(a.S, a.outNode[e1], 0, -1)
-		}
-	}
-	for _, e2 := range net.In(t) {
-		if keep[e2] {
-			a.G.AddEdgeAux(a.inNode[e2], a.T, 0, -1)
-		}
-	}
-	instr.builds.Inc()
-	instr.vertices.Observe(float64(a.G.N()))
-	instr.edges.Observe(float64(a.G.M()))
-	return a
+	instr.reweights.Inc()
+	return &sk.aux
+}
+
+// installedFeasible reports whether any conversion from a wavelength
+// installed on ein to one installed on eout is allowed at the shared node —
+// the structural superset of meanConvCost's availability test.
+func installedFeasible(net *wdm.Network, conv wdm.Converter, ein, eout int) bool {
+	in := net.Link(ein).Lambda()
+	out := net.Link(eout).Lambda()
+	feasible := false
+	in.ForEach(func(la int) bool {
+		out.ForEach(func(lb int) bool {
+			if la == lb || conv.Allowed(la, lb) {
+				feasible = true
+				return false
+			}
+			return true
+		})
+		return !feasible
+	})
+	return feasible
 }
 
 // meanConvCost returns whether any allowed conversion exists from the
@@ -279,23 +445,38 @@ func meanConvCost(net *wdm.Network, conv wdm.Converter, ein, eout int) (bool, fl
 // Net returns the physical network the aux graph was built from.
 func (a *Aux) Net() *wdm.Network { return a.net }
 
-// OutNode returns the aux vertex of u_out^e for link e, or −1 if the link was
-// filtered out.
-func (a *Aux) OutNode(link int) int { return a.outNode[link] }
+// OutNode returns the aux vertex of u_out^e for link e, or −1 if the link is
+// filtered out under the current weights.
+func (a *Aux) OutNode(link int) int {
+	if !a.keep[link] {
+		return -1
+	}
+	return a.outNode[link]
+}
 
 // InNode returns the aux vertex of v_in^e for link e, or −1 if filtered.
-func (a *Aux) InNode(link int) int { return a.inNode[link] }
+func (a *Aux) InNode(link int) int {
+	if !a.keep[link] {
+		return -1
+	}
+	return a.inNode[link]
+}
 
 // MapPath translates an aux edge-ID path into the ordered physical link IDs
 // it traverses (its link edges, in order).
 func (a *Aux) MapPath(path []int) []int {
-	var links []int
+	return a.AppendMapPath(nil, path)
+}
+
+// AppendMapPath appends the physical link IDs of path onto buf and returns
+// the extended slice — the allocation-free variant of MapPath.
+func (a *Aux) AppendMapPath(buf []int, path []int) []int {
 	for _, id := range path {
 		if aux := a.G.Edge(id).Aux; aux >= 0 {
-			links = append(links, aux)
+			buf = append(buf, aux)
 		}
 	}
-	return links
+	return buf
 }
 
 // LinkSet translates an aux edge-ID path into the set of physical links it

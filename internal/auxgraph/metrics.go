@@ -6,10 +6,12 @@ import "repro/internal/metrics"
 // EnableMetrics is called, and nil instruments are no-ops, so the layer is
 // default-off.
 type instruments struct {
-	builds    *metrics.Counter
-	buildTime *metrics.Timer
-	vertices  *metrics.Histogram
-	edges     *metrics.Histogram
+	builds       *metrics.Counter
+	buildTime    *metrics.Timer
+	reweights    *metrics.Counter
+	reweightTime *metrics.Timer
+	vertices     *metrics.Histogram
+	edges        *metrics.Histogram
 }
 
 var instr instruments
@@ -18,9 +20,11 @@ var instr instruments
 // subsequent Build calls through them. A nil registry disables them again.
 func EnableMetrics(r *metrics.Registry) {
 	instr = instruments{
-		builds:    r.Counter("auxgraph_builds_total", "auxiliary graphs constructed"),
-		buildTime: r.Timer("auxgraph_build_seconds", "auxiliary graph construction time"),
-		vertices:  r.Histogram("auxgraph_vertices", "vertex count per auxiliary graph", metrics.SizeBuckets()),
-		edges:     r.Histogram("auxgraph_edges", "edge count per auxiliary graph", metrics.SizeBuckets()),
+		builds:       r.Counter("auxgraph_builds_total", "auxiliary graph skeletons constructed"),
+		buildTime:    r.Timer("auxgraph_build_seconds", "auxiliary graph skeleton construction time"),
+		reweights:    r.Counter("auxgraph_reweights_total", "in-place skeleton reweights"),
+		reweightTime: r.Timer("auxgraph_reweight_seconds", "in-place skeleton reweight time"),
+		vertices:     r.Histogram("auxgraph_vertices", "vertex count per auxiliary graph", metrics.SizeBuckets()),
+		edges:        r.Histogram("auxgraph_edges", "edge count per auxiliary graph", metrics.SizeBuckets()),
 	}
 }

@@ -126,11 +126,11 @@ func E1(o Options) *Table {
 			ratio    float64
 			feasible bool
 		}
-		samples := parallel.Map(seeds, 0, func(i int) sample {
+		samples := parallel.MapWithState(seeds, 0, newRouter, func(rt *core.Router, i int) sample {
 			rng := rand.New(rand.NewSource(int64(1000*c.n + 10*c.w + i)))
 			net := randomInstance(rng, c.n, c.w, 0)
 			s, d := 0, c.n-1
-			r, ok := core.ApproxMinCost(net, s, d, nil)
+			r, ok := rt.ApproxMinCost(net, s, d)
 			sol, _, okE := exact.Exhaustive(net, s, d, 0)
 			if !ok || !okE {
 				return sample{}
@@ -175,8 +175,9 @@ func E2(o Options) *Table {
 	reps := o.seeds(40, 5)
 	for _, c := range cfgs {
 		net := topo.Waxman(c.n, 0.4, 0.4, 42, topo.Config{W: c.w})
+		rt := core.NewRouter(nil)
 		// Warm-up.
-		core.ApproxMinCost(net, 0, c.n/2, nil)
+		rt.ApproxMinCost(net, 0, c.n/2)
 		start := time.Now()
 		calls := 0
 		for r := 0; r < reps; r++ {
@@ -185,7 +186,7 @@ func E2(o Options) *Table {
 			if s == d {
 				continue
 			}
-			core.ApproxMinCost(net, s, d, nil)
+			rt.ApproxMinCost(net, s, d)
 			calls++
 		}
 		elapsed := float64(time.Since(start).Microseconds()) / float64(max(1, calls))
@@ -229,12 +230,12 @@ func E3(o Options) *Table {
 			ratio float64
 			ok    bool
 		}
-		samples := parallel.Map(seeds, 0, func(i int) sample {
+		samples := parallel.MapWithState(seeds, 0, newRouter, func(rt *core.Router, i int) sample {
 			rng := rand.New(rand.NewSource(int64(7000*c.n + i)))
 			net := randomInstance(rng, c.n, c.w, c.preload)
 			s, d := 0, c.n-1
-			r, ok := core.MinLoad(net, s, d, nil)
-			oracle, okO := core.OptimalLoadOracle(net, s, d)
+			r, ok := rt.MinLoad(net, s, d)
+			oracle, okO := rt.OptimalLoadOracle(net, s, d)
 			if !ok || !okO || oracle == 0 {
 				return sample{}
 			}
@@ -281,11 +282,11 @@ func E6(o Options) *Table {
 			vsNaive, vsAux float64
 			improved, ok   bool
 		}
-		samples := parallel.Map(seeds, 0, func(i int) sample {
+		samples := parallel.MapWithState(seeds, 0, newRouter, func(rt *core.Router, i int) sample {
 			rng := rand.New(rand.NewSource(int64(31000 + i)))
 			net := heterogeneousInstance(rng, c.n, c.w)
 			s, d := 0, c.n-1
-			r, ok := core.ApproxMinCost(net, s, d, nil)
+			r, ok := rt.ApproxMinCost(net, s, d)
 			if !ok || math.IsInf(r.NaiveCost, 1) {
 				return sample{}
 			}
@@ -382,10 +383,10 @@ func E7(o Options) *Table {
 			okA, okT bool
 			ratio    float64
 		}
-		samples := parallel.Map(seeds, 0, func(i int) sample {
+		samples := parallel.MapWithState(seeds, 0, newRouter, func(router *core.Router, i int) sample {
 			net, s, d := c.make(i)
-			ra, okA := core.ApproxMinCost(net, s, d, nil)
-			rt, okT := core.TwoStepMinCost(net, s, d, nil)
+			ra, okA := router.ApproxMinCost(net, s, d)
+			rt, okT := router.TwoStepMinCost(net, s, d)
 			out := sample{okA: okA, okT: okT}
 			if okA && okT {
 				out.ratio = rt.Cost / ra.Cost
@@ -480,6 +481,10 @@ func E9(o Options) *Table {
 	}
 	return t
 }
+
+// newRouter is the per-worker state hook for parallel.MapWithState: each
+// sweep worker reuses one routing engine across all its samples.
+func newRouter() *core.Router { return core.NewRouter(nil) }
 
 func max(a, b int) int {
 	if a > b {

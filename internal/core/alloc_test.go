@@ -1,0 +1,46 @@
+//go:build !race
+
+// Allocation-regression tests, excluded from -race runs (the detector's
+// instrumentation breaks testing.AllocsPerOp accounting).
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// Allocation budgets for a warm Router on NSFNET (W=8). The graph search
+// itself is allocation-free; what remains is the per-result construction
+// (Result, hop slices, the Lemma 2 refinement DP). Measured ~27–29 allocs/op
+// at the time of writing; the budgets leave headroom for small refactors
+// while still catching a regression to per-request graph rebuilding
+// (~900 allocs/op).
+const (
+	approxMinCostAllocBudget = 64
+	minLoadAllocBudget       = 96
+)
+
+func TestWarmRouterAllocBudget(t *testing.T) {
+	net := topo.NSFNET(topo.Config{W: 8})
+	r := NewRouter(nil)
+	if _, ok := r.ApproxMinCost(net, 0, 9); !ok {
+		t.Fatal("ApproxMinCost failed")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.ApproxMinCost(net, 0, 9)
+	})
+	if allocs > approxMinCostAllocBudget {
+		t.Errorf("warm Router.ApproxMinCost = %.0f allocs/op, budget %d", allocs, approxMinCostAllocBudget)
+	}
+
+	if _, ok := r.MinLoad(net, 2, 11); !ok {
+		t.Fatal("MinLoad failed")
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		r.MinLoad(net, 2, 11)
+	})
+	if allocs > minLoadAllocBudget {
+		t.Errorf("warm Router.MinLoad = %.0f allocs/op, budget %d", allocs, minLoadAllocBudget)
+	}
+}

@@ -164,22 +164,10 @@ func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *
 // Lemma 2 refinement. ok is false when no two edge-disjoint semilightpaths
 // exist in the residual network (or refinement is infeasible under
 // restricted conversion).
+// It is the one-shot wrapper around Router.ApproxMinCost; hot paths should
+// hold a Router to reuse its skeleton cache and search workspaces.
 func ApproxMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
-	instr.routeCalls.Inc()
-	tb := instr.phaseBuild.Start()
-	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.Cost})
-	instr.phaseBuild.Stop(tb)
-	td := instr.phaseDisjoint.Start()
-	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
-	instr.phaseDisjoint.Stop(td)
-	if !ok {
-		return nil, false
-	}
-	res, ok := mapAndRefine(net, a, pair, opts)
-	if ok {
-		instr.routeFound.Inc()
-	}
-	return res, ok
+	return NewRouter(opts).ApproxMinCost(net, s, t)
 }
 
 // ApproxMinCostNodeDisjoint routes (s, t) with an internally node-disjoint
@@ -188,27 +176,7 @@ func ApproxMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 // machinery with a unit-capacity hub gadget per intermediate node in the
 // auxiliary graph. ok is false when no node-disjoint pair exists.
 func ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
-	instr.routeCalls.Inc()
-	tb := instr.phaseBuild.Start()
-	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.Cost, NodeDisjoint: true})
-	instr.phaseBuild.Stop(tb)
-	td := instr.phaseDisjoint.Start()
-	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
-	instr.phaseDisjoint.Stop(td)
-	if !ok {
-		return nil, false
-	}
-	res, ok := mapAndRefine(net, a, pair, opts)
-	if !ok {
-		return nil, false
-	}
-	// Defensive: the hub gadget guarantees this, so a violation would be a
-	// construction bug.
-	if !nodesDisjoint(net, res.Primary, res.Backup, s, t) {
-		return nil, false
-	}
-	instr.routeFound.Inc()
-	return res, true
+	return NewRouter(opts).ApproxMinCostNodeDisjoint(net, s, t)
 }
 
 // nodesDisjoint reports whether two paths share no intermediate node.
@@ -248,111 +216,26 @@ func thetaBounds(net *wdm.Network) (lo, hi float64, any bool) {
 	return lo, hi, any
 }
 
-// minCogSearch runs the Find_Two_Paths_MinCog doubling threshold search: it
-// starts at ϑ_min with increment Δ/2^{⌈log₂(1/Δ)⌉} and doubles the increment
-// after every infeasible round, finishing with the complete residual graph
-// at ϑ_max. It returns the feasible threshold, the aux graph and pair at
-// that threshold, and the round count. The doubling schedule yields the
-// Theorem 3 load ratio < 3: a success at ϑ after a failure at ϑ−δ implies
-// ϑ* > ϑ−δ while δ ≤ 2·(ϑ−δ−ϑ_min) + Δ/2^{j₀}.
-func minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, opts *Options) (theta float64, aOut *auxgraph.Aux, pairOut *disjoint.Pair, iters int, ok bool) {
-	defer instr.phaseMinCog.Stop(instr.phaseMinCog.Start())
-	defer func() { instr.mincogIters.Observe(float64(iters)) }()
-	lo, hi, any := thetaBounds(net)
-	if !any {
-		return 0, nil, nil, 0, false
-	}
-	try := func(theta float64) (*auxgraph.Aux, *disjoint.Pair, bool) {
-		a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: kind, Threshold: theta, Base: opts.base()})
-		pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
-		return a, pair, ok
-	}
-	delta := hi - lo
-	if delta <= 1e-12 {
-		// Uniform loads: the only meaningful graph is the full residual one.
-		a, pair, ok := try(hi)
-		return hi, a, pair, 1, ok
-	}
-	j0 := int(math.Ceil(math.Log2(1 / delta)))
-	if j0 < 0 {
-		j0 = 0
-	}
-	inc := delta / math.Pow(2, float64(j0))
-	theta = lo
-	maxIter := opts.maxIter()
-	for iters < maxIter {
-		iters++
-		if theta >= hi {
-			theta = hi
-		}
-		a, pair, ok := try(theta)
-		if ok {
-			return theta, a, pair, iters, true
-		}
-		if theta >= hi {
-			return 0, nil, nil, iters, false // drop the request
-		}
-		theta += inc
-		inc *= 2
-	}
-	// Iteration cap: last resort, the complete residual graph.
-	iters++
-	a, pair, ok := try(hi)
-	return hi, a, pair, iters, ok
-}
-
 // MinLoad routes (s, t) per §4.1: find the smallest feasible load bound ϑ by
 // the MinCog search over G_c (exponential congestion weights) and return the
 // refined pair found at that bound.
+//
+// The search (Router.minCogSearch) runs the Find_Two_Paths_MinCog doubling
+// schedule: it starts at ϑ_min with increment Δ/2^{⌈log₂(1/Δ)⌉} and doubles
+// the increment after every infeasible round, finishing with the complete
+// residual graph at ϑ_max. The schedule yields the Theorem 3 load ratio < 3:
+// a success at ϑ after a failure at ϑ−δ implies ϑ* > ϑ−δ while
+// δ ≤ 2·(ϑ−δ−ϑ_min) + Δ/2^{j₀}.
 func MinLoad(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
-	instr.routeCalls.Inc()
-	theta, a, pair, iters, ok := minCogSearch(net, s, t, auxgraph.Load, opts)
-	if !ok {
-		return nil, false
-	}
-	res, ok := mapAndRefine(net, a, pair, opts)
-	if !ok {
-		return nil, false
-	}
-	res.Threshold = theta
-	res.Iterations = iters
-	instr.routeFound.Inc()
-	return res, true
+	return NewRouter(opts).MinLoad(net, s, t)
 }
 
 // MinLoadCost routes (s, t) per §4.2: phase 1 fixes the feasible load bound
-// ϑ with the MinCog search; phase 2 rebuilds the auxiliary graph as G_rc
+// ϑ with the MinCog search; phase 2 reweights the auxiliary graph as G_rc
 // (same filter, average-cost weights) and routes minimum-cost within the
 // bound.
 func MinLoadCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
-	instr.routeCalls.Inc()
-	theta, _, _, iters, ok := minCogSearch(net, s, t, auxgraph.Load, opts)
-	if !ok {
-		return nil, false
-	}
-	tb := instr.phaseBuild.Start()
-	a := auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: theta, Base: opts.base()})
-	instr.phaseBuild.Stop(tb)
-	td := instr.phaseDisjoint.Start()
-	pair, ok := disjoint.Suurballe(a.G, a.S, a.T)
-	instr.phaseDisjoint.Stop(td)
-	if !ok {
-		// ϑ was certified feasible on the identical G_c skeleton; reaching
-		// here means numerics only. Fall back to the full residual graph.
-		a = auxgraph.Build(net, s, t, auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: math.Inf(1)})
-		pair, ok = disjoint.Suurballe(a.G, a.S, a.T)
-		if !ok {
-			return nil, false
-		}
-	}
-	res, ok := mapAndRefine(net, a, pair, opts)
-	if !ok {
-		return nil, false
-	}
-	res.Threshold = theta
-	res.Iterations = iters
-	instr.routeFound.Inc()
-	return res, true
+	return NewRouter(opts).MinLoadCost(net, s, t)
 }
 
 // TwoStepMinCost is the naive baseline (E7): route an optimal semilightpath,
@@ -391,42 +274,7 @@ func TwoStepMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 // set of per-link ratios, so the oracle is exact; it is the reference for
 // the Theorem 3 ratio experiment (E3).
 func OptimalLoadOracle(net *wdm.Network, s, t int) (float64, bool) {
-	ratios := map[float64]bool{}
-	for id := 0; id < net.Links(); id++ {
-		l := net.Link(id)
-		if l.Avail().Empty() || l.N() == 0 {
-			continue
-		}
-		ratios[float64(l.U()+1)/float64(l.N())] = true
-	}
-	if len(ratios) == 0 {
-		return 0, false
-	}
-	cands := make([]float64, 0, len(ratios))
-	for r := range ratios {
-		cands = append(cands, r)
-	}
-	// Insertion sort (tiny sets).
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
-		}
-	}
-	for _, c := range cands {
-		// Exact filter: keep exactly the links whose post-routing ratio
-		// (U+1)/N stays within the candidate cap.
-		a := auxgraph.Build(net, s, t, auxgraph.Params{
-			Kind: auxgraph.Load,
-			Filter: func(id int) bool {
-				l := net.Link(id)
-				return float64(l.U()+1)/float64(l.N()) <= c+1e-12
-			},
-		})
-		if _, ok := disjoint.Suurballe(a.G, a.S, a.T); ok {
-			return c, true
-		}
-	}
-	return 0, false
+	return NewRouter(nil).OptimalLoadOracle(net, s, t)
 }
 
 // Establish reserves both paths of a routed result on the network. Either

@@ -46,6 +46,7 @@ func TestMetricsCoverRoutingPipeline(t *testing.T) {
 	}
 	for _, name := range []string{
 		"auxgraph_builds_total",
+		"auxgraph_reweights_total",
 		"disjoint_suurballe_calls_total",
 		"disjoint_dijkstra_relaxations_total",
 		"disjoint_heap_ops_total",
@@ -56,6 +57,7 @@ func TestMetricsCoverRoutingPipeline(t *testing.T) {
 	}
 	for _, name := range []string{
 		"auxgraph_build_seconds",
+		"auxgraph_reweight_seconds",
 		"disjoint_suurballe_seconds",
 		"core_phase_build_seconds",
 		"core_phase_disjoint_seconds",

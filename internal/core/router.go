@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/auxgraph"
+	"repro/internal/disjoint"
+	"repro/internal/wdm"
+)
+
+// Router is the reusable engine behind the package-level routing functions.
+// It owns every piece of per-request scratch state — the Suurballe workspace
+// (two Dijkstra workspaces, residual graph, combine buffers) and a cache of
+// auxiliary-graph skeletons keyed by (s, t, node-disjointness) — so that a
+// long-lived caller (a simulator arrival loop, a benchmark worker) routes
+// requests without rebuilding the auxiliary graph or reallocating search
+// state on every call. The MinCog threshold search in particular reweights
+// one skeleton per round instead of constructing a fresh graph per round.
+//
+// A Router is bound to the network of its most recent call; routing on a
+// different *wdm.Network drops the skeleton cache (workspaces are kept, as
+// they adapt to any graph size). Structural network changes (AddLink,
+// SetConverter) invalidate cached skeletons automatically via the network's
+// TopoVersion. A Router is not safe for concurrent use; give each goroutine
+// its own (e.g. one per parallel.MapWithState worker).
+type Router struct {
+	opts  *Options
+	net   *wdm.Network
+	ws    disjoint.Workspace
+	skels map[skelKey]*auxgraph.Skeleton
+}
+
+type skelKey struct {
+	s, t         int
+	nodeDisjoint bool
+}
+
+// NewRouter returns a Router with the given options (nil for defaults).
+func NewRouter(opts *Options) *Router {
+	return &Router{opts: opts}
+}
+
+// skeleton returns a valid cached skeleton for (s, t), building one on the
+// first request for the pair, after a rebind to a different network, or after
+// a structural network change.
+func (r *Router) skeleton(net *wdm.Network, s, t int, nodeDisjoint bool) *auxgraph.Skeleton {
+	if r.net != net {
+		r.net = net
+		clear(r.skels)
+	}
+	if r.skels == nil {
+		r.skels = make(map[skelKey]*auxgraph.Skeleton)
+	}
+	k := skelKey{s: s, t: t, nodeDisjoint: nodeDisjoint}
+	sk := r.skels[k]
+	if sk == nil || !sk.Valid() {
+		sk = auxgraph.NewSkeleton(net, s, t, nodeDisjoint)
+		r.skels[k] = sk
+	}
+	return sk
+}
+
+// ApproxMinCost routes (s, t) per §3.3 — see the package-level ApproxMinCost.
+func (r *Router) ApproxMinCost(net *wdm.Network, s, t int) (*Result, bool) {
+	instr.routeCalls.Inc()
+	tb := instr.phaseBuild.Start()
+	a := r.skeleton(net, s, t, false).Reweight(auxgraph.Params{Kind: auxgraph.Cost})
+	instr.phaseBuild.Stop(tb)
+	td := instr.phaseDisjoint.Start()
+	pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
+	instr.phaseDisjoint.Stop(td)
+	if !ok {
+		return nil, false
+	}
+	res, ok := mapAndRefine(net, a, pair, r.opts)
+	if ok {
+		instr.routeFound.Inc()
+	}
+	return res, ok
+}
+
+// ApproxMinCostNodeDisjoint routes (s, t) with an internally node-disjoint
+// pair — see the package-level ApproxMinCostNodeDisjoint.
+func (r *Router) ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int) (*Result, bool) {
+	instr.routeCalls.Inc()
+	tb := instr.phaseBuild.Start()
+	a := r.skeleton(net, s, t, true).Reweight(auxgraph.Params{Kind: auxgraph.Cost, NodeDisjoint: true})
+	instr.phaseBuild.Stop(tb)
+	td := instr.phaseDisjoint.Start()
+	pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
+	instr.phaseDisjoint.Stop(td)
+	if !ok {
+		return nil, false
+	}
+	res, ok := mapAndRefine(net, a, pair, r.opts)
+	if !ok {
+		return nil, false
+	}
+	// Defensive: the hub gadget guarantees this, so a violation would be a
+	// construction bug.
+	if !nodesDisjoint(net, res.Primary, res.Backup, s, t) {
+		return nil, false
+	}
+	instr.routeFound.Inc()
+	return res, true
+}
+
+// minCogSearch is the Find_Two_Paths_MinCog doubling threshold search (see
+// the algorithm notes on the package-level MinLoad). Unlike the historical
+// implementation it reweights one cached skeleton per round instead of
+// building a fresh auxiliary graph, so a k-round search costs one structure
+// build plus k cheap weight passes. The returned pair aliases the router's
+// Suurballe workspace and must be consumed before the next routing call.
+func (r *Router) minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind) (theta float64, aOut *auxgraph.Aux, pairOut *disjoint.Pair, iters int, ok bool) {
+	defer instr.phaseMinCog.Stop(instr.phaseMinCog.Start())
+	defer func() { instr.mincogIters.Observe(float64(iters)) }()
+	lo, hi, any := thetaBounds(net)
+	if !any {
+		return 0, nil, nil, 0, false
+	}
+	sk := r.skeleton(net, s, t, false)
+	try := func(theta float64) (*auxgraph.Aux, *disjoint.Pair, bool) {
+		a := sk.Reweight(auxgraph.Params{Kind: kind, Threshold: theta, Base: r.opts.base()})
+		pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
+		return a, pair, ok
+	}
+	delta := hi - lo
+	if delta <= 1e-12 {
+		// Uniform loads: the only meaningful graph is the full residual one.
+		a, pair, ok := try(hi)
+		return hi, a, pair, 1, ok
+	}
+	j0 := int(math.Ceil(math.Log2(1 / delta)))
+	if j0 < 0 {
+		j0 = 0
+	}
+	inc := delta / math.Pow(2, float64(j0))
+	theta = lo
+	maxIter := r.opts.maxIter()
+	for iters < maxIter {
+		iters++
+		if theta >= hi {
+			theta = hi
+		}
+		a, pair, ok := try(theta)
+		if ok {
+			return theta, a, pair, iters, true
+		}
+		if theta >= hi {
+			return 0, nil, nil, iters, false // drop the request
+		}
+		theta += inc
+		inc *= 2
+	}
+	// Iteration cap: last resort, the complete residual graph.
+	iters++
+	a, pair, ok := try(hi)
+	return hi, a, pair, iters, ok
+}
+
+// MinLoad routes (s, t) per §4.1 — see the package-level MinLoad.
+func (r *Router) MinLoad(net *wdm.Network, s, t int) (*Result, bool) {
+	instr.routeCalls.Inc()
+	theta, a, pair, iters, ok := r.minCogSearch(net, s, t, auxgraph.Load)
+	if !ok {
+		return nil, false
+	}
+	res, ok := mapAndRefine(net, a, pair, r.opts)
+	if !ok {
+		return nil, false
+	}
+	res.Threshold = theta
+	res.Iterations = iters
+	instr.routeFound.Inc()
+	return res, true
+}
+
+// MinLoadCost routes (s, t) per §4.2 — see the package-level MinLoadCost.
+func (r *Router) MinLoadCost(net *wdm.Network, s, t int) (*Result, bool) {
+	instr.routeCalls.Inc()
+	theta, _, _, iters, ok := r.minCogSearch(net, s, t, auxgraph.Load)
+	if !ok {
+		return nil, false
+	}
+	sk := r.skeleton(net, s, t, false)
+	tb := instr.phaseBuild.Start()
+	a := sk.Reweight(auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: theta, Base: r.opts.base()})
+	instr.phaseBuild.Stop(tb)
+	td := instr.phaseDisjoint.Start()
+	pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
+	instr.phaseDisjoint.Stop(td)
+	if !ok {
+		// ϑ was certified feasible on the identical G_c skeleton; reaching
+		// here means numerics only. Fall back to the full residual graph.
+		a = sk.Reweight(auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: math.Inf(1)})
+		pair, ok = r.ws.Suurballe(a.G, a.S, a.T)
+		if !ok {
+			return nil, false
+		}
+	}
+	res, ok := mapAndRefine(net, a, pair, r.opts)
+	if !ok {
+		return nil, false
+	}
+	res.Threshold = theta
+	res.Iterations = iters
+	instr.routeFound.Inc()
+	return res, true
+}
+
+// TwoStepMinCost is the naive baseline — see the package-level TwoStepMinCost.
+// It uses no auxiliary graph, so the Router adds nothing beyond a uniform
+// call surface.
+func (r *Router) TwoStepMinCost(net *wdm.Network, s, t int) (*Result, bool) {
+	return TwoStepMinCost(net, s, t, r.opts)
+}
+
+// OptimalLoadOracle computes the exact minimum achievable path load — see the
+// package-level OptimalLoadOracle. Each candidate cap reweights the same
+// cached skeleton.
+func (r *Router) OptimalLoadOracle(net *wdm.Network, s, t int) (float64, bool) {
+	ratios := map[float64]bool{}
+	for id := 0; id < net.Links(); id++ {
+		l := net.Link(id)
+		if l.Avail().Empty() || l.N() == 0 {
+			continue
+		}
+		ratios[float64(l.U()+1)/float64(l.N())] = true
+	}
+	if len(ratios) == 0 {
+		return 0, false
+	}
+	cands := make([]float64, 0, len(ratios))
+	for r := range ratios {
+		cands = append(cands, r)
+	}
+	// Insertion sort (tiny sets).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	sk := r.skeleton(net, s, t, false)
+	for _, c := range cands {
+		// Exact filter: keep exactly the links whose post-routing ratio
+		// (U+1)/N stays within the candidate cap.
+		a := sk.Reweight(auxgraph.Params{
+			Kind: auxgraph.Load,
+			Filter: func(id int) bool {
+				l := net.Link(id)
+				return float64(l.U()+1)/float64(l.N()) <= c+1e-12
+			},
+		})
+		if _, ok := r.ws.Suurballe(a.G, a.S, a.T); ok {
+			return c, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,37 @@
+//go:build !race
+
+// Allocation-regression tests, excluded from -race runs (the detector's
+// instrumentation breaks testing.AllocsPerOp accounting).
+package disjoint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestWorkspaceSuurballeZeroAllocs pins the tentpole property: a warmed
+// Workspace runs the full Suurballe pipeline — both Dijkstra passes, the
+// residual graph rebuild, and the combine phase — without heap allocations.
+func TestWorkspaceSuurballeZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New(100)
+	for v := 0; v < 100; v++ {
+		g.AddEdge(v, (v+1)%100, 1+rng.Float64())
+		g.AddEdge((v+1)%100, v, 1+rng.Float64())
+	}
+	for i := 0; i < 200; i++ {
+		g.AddEdge(rng.Intn(100), rng.Intn(100), 1+rng.Float64()*4)
+	}
+	ws := NewWorkspace()
+	if _, ok := ws.Suurballe(g, 0, 50); !ok {
+		t.Fatal("no disjoint pair on ring+chords graph")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ws.Suurballe(g, 2, 71)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Workspace.Suurballe allocates %.1f/op, want 0", allocs)
+	}
+}

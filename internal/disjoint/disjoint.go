@@ -23,63 +23,12 @@ type Pair struct {
 
 // Suurballe returns a minimum-total-weight pair of edge-disjoint paths from
 // s to t over the enabled edges of g, or ok=false if no such pair exists.
-// All enabled edge weights must be non-negative.
+// All enabled edge weights must be non-negative. It is the one-shot wrapper
+// around Workspace.Suurballe; hot paths should hold a Workspace and call it
+// directly to avoid the per-call scratch allocations.
 func Suurballe(g *graph.Graph, s, t int) (*Pair, bool) {
-	if s == t {
-		return nil, false
-	}
-	instr.calls.Inc()
-	defer instr.time.Stop(instr.time.Start())
-	// Pass 1: shortest-path distances for the potentials.
-	d1 := g.Dijkstra(s)
-	instr.relaxations.Add(d1.Relaxations)
-	instr.heapOps.Add(d1.HeapOps)
-	if !d1.Reached(t) {
-		return nil, false
-	}
-	p1 := d1.PathTo(t, g)
-
-	// Transformed graph with reduced costs w'(u,v) = w + d(u) − d(v) ≥ 0.
-	// P1's forward edges are removed and replaced by zero-weight reversals
-	// (their reduced cost is 0, so the reversal is also 0).
-	m := g.M()
-	h := graph.New(g.N())
-	onP1 := make([]bool, m)
-	for _, id := range p1 {
-		onP1[id] = true
-	}
-	for id := 0; id < m; id++ {
-		if g.Disabled(id) || onP1[id] {
-			continue
-		}
-		e := g.Edge(id)
-		if !d1.Reached(e.From) || !d1.Reached(e.To) {
-			continue // unreachable region cannot be on any s→t path
-		}
-		rc := e.Weight + d1.Dist[e.From] - d1.Dist[e.To]
-		if rc < 0 {
-			rc = 0 // guard tiny negative from float round-off
-		}
-		h.AddEdgeAux(e.From, e.To, rc, id)
-	}
-	for _, id := range p1 {
-		e := g.Edge(id)
-		h.AddEdgeAux(e.To, e.From, 0, ^id) // reversal carries ^origID
-	}
-
-	d2 := h.Dijkstra(s)
-	instr.relaxations.Add(d2.Relaxations)
-	instr.heapOps.Add(d2.HeapOps)
-	if !d2.Reached(t) {
-		return nil, false
-	}
-	q := d2.PathTo(t, h)
-
-	pair, ok := combine(g, s, t, p1, q, h)
-	if ok {
-		instr.found.Inc()
-	}
-	return pair, ok
+	var ws Workspace
+	return ws.Suurballe(g, s, t)
 }
 
 // Bhandari computes the same optimum as Suurballe but runs Bellman–Ford on a

@@ -1,0 +1,214 @@
+package disjoint
+
+import (
+	"repro/internal/graph"
+)
+
+// Workspace owns all scratch state of a Suurballe computation — the two
+// Dijkstra workspaces, the residual (reduced-cost) graph, and the
+// combine-phase buffers — so the per-request hot path performs no heap
+// allocations once the buffers have warmed up to the graph size.
+//
+// The zero value is ready to use. A Workspace is not safe for concurrent
+// use; give each goroutine its own. The *Pair returned by Suurballe aliases
+// workspace buffers and stays valid only until the next call on the same
+// workspace; callers that retain it across calls must copy the path slices.
+type Workspace struct {
+	d1, d2 graph.Workspace
+	res    graph.Graph // residual graph, rebuilt in place each call
+
+	p1 []int // first-pass shortest path (original edge IDs)
+	q  []int // second-pass path (residual edge IDs)
+
+	onP1 []bool // per original edge; cleared after each use
+
+	// combine scratch.
+	mark     []int32 // per original edge: multiplicity in the surviving set
+	touched  []int   // edges whose mark entry must be zeroed afterwards
+	adjHead  []int32 // per vertex: head of the out-edge chain, stamped
+	adjNext  []int32 // per edge: next edge in its vertex's chain
+	adjStamp []uint32
+	adjGen   uint32
+
+	path1, path2 []int
+	pair         Pair
+}
+
+// NewWorkspace returns an empty workspace. Equivalent to &Workspace{}.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Suurballe computes the same minimum-total-weight edge-disjoint pair as the
+// package-level Suurballe, reusing ws for every intermediate structure. The
+// returned Pair aliases workspace buffers (see the Workspace doc).
+func (ws *Workspace) Suurballe(g *graph.Graph, s, t int) (*Pair, bool) {
+	if s == t {
+		return nil, false
+	}
+	instr.calls.Inc()
+	defer instr.time.Stop(instr.time.Start())
+	// Pass 1: shortest-path distances for the potentials.
+	g.DijkstraInto(&ws.d1, s)
+	instr.relaxations.Add(ws.d1.Relaxations())
+	instr.heapOps.Add(ws.d1.HeapOps())
+	if !ws.d1.Reached(t) {
+		return nil, false
+	}
+	var ok bool
+	ws.p1, ok = ws.d1.AppendPathTo(ws.p1[:0], t, g)
+	if !ok {
+		return nil, false
+	}
+
+	// Transformed graph with reduced costs w'(u,v) = w + d(u) − d(v) ≥ 0.
+	// P1's forward edges are removed and replaced by zero-weight reversals
+	// (their reduced cost is 0, so the reversal is also 0).
+	m := g.M()
+	h := &ws.res
+	h.Reset(g.N())
+	for cap(ws.onP1) < m {
+		ws.onP1 = append(ws.onP1[:cap(ws.onP1)], false)
+	}
+	onP1 := ws.onP1[:m]
+	for _, id := range ws.p1 {
+		onP1[id] = true
+	}
+	for id := 0; id < m; id++ {
+		if g.Disabled(id) || onP1[id] {
+			continue
+		}
+		e := g.Edge(id)
+		if !ws.d1.Reached(e.From) || !ws.d1.Reached(e.To) {
+			continue // unreachable region cannot be on any s→t path
+		}
+		rc := e.Weight + ws.d1.Dist(e.From) - ws.d1.Dist(e.To)
+		if rc < 0 {
+			rc = 0 // guard tiny negative from float round-off
+		}
+		h.AddEdgeAux(e.From, e.To, rc, id)
+	}
+	for _, id := range ws.p1 {
+		e := g.Edge(id)
+		h.AddEdgeAux(e.To, e.From, 0, ^id) // reversal carries ^origID
+		onP1[id] = false                   // restore the cleared invariant
+	}
+
+	h.DijkstraInto(&ws.d2, s)
+	instr.relaxations.Add(ws.d2.Relaxations())
+	instr.heapOps.Add(ws.d2.HeapOps())
+	if !ws.d2.Reached(t) {
+		return nil, false
+	}
+	ws.q, ok = ws.d2.AppendPathTo(ws.q[:0], t, h)
+	if !ok {
+		return nil, false
+	}
+
+	pair, ok := ws.combine(g, s, t)
+	if ok {
+		instr.found.Inc()
+	}
+	return pair, ok
+}
+
+// combine cancels interlacing edges between P1 and the second-pass path Q
+// (edges of Q with Aux = ^origID are reversals of P1 edges) and decomposes
+// the remaining edge multiset into two edge-disjoint s→t paths. It mirrors
+// the map-based combine exactly — the surviving edges are scanned in
+// ascending ID order and each per-vertex chain pops its largest ID first —
+// so the decomposition (and which path is reported first) is identical.
+func (ws *Workspace) combine(g *graph.Graph, s, t int) (*Pair, bool) {
+	m := g.M()
+	for cap(ws.mark) < m {
+		ws.mark = append(ws.mark[:cap(ws.mark)], 0)
+	}
+	mark := ws.mark[:m]
+	ws.touched = ws.touched[:0]
+	add := func(id int) {
+		if mark[id] == 0 {
+			ws.touched = append(ws.touched, id)
+		}
+		mark[id]++
+	}
+	for _, id := range ws.p1 {
+		add(id)
+	}
+	for _, hid := range ws.q {
+		aux := ws.res.Edge(hid).Aux
+		if aux < 0 {
+			mark[^aux]-- // reversal cancels the P1 edge
+		} else {
+			add(aux)
+		}
+	}
+	defer func() {
+		for _, id := range ws.touched {
+			mark[id] = 0
+		}
+	}()
+
+	// Adjacency over surviving edges: ascending-ID prepend per vertex, so
+	// the chain head is the largest ID — the edge the map version popped.
+	n := g.N()
+	for cap(ws.adjHead) < n {
+		ws.adjHead = append(ws.adjHead[:cap(ws.adjHead)], -1)
+		ws.adjStamp = append(ws.adjStamp[:cap(ws.adjStamp)], 0)
+	}
+	adjHead, adjStamp := ws.adjHead[:n], ws.adjStamp[:n]
+	for cap(ws.adjNext) < m {
+		ws.adjNext = append(ws.adjNext[:cap(ws.adjNext)], -1)
+	}
+	adjNext := ws.adjNext[:m]
+	ws.adjGen++
+	if ws.adjGen == 0 {
+		for i := range adjStamp {
+			adjStamp[i] = 0
+		}
+		ws.adjGen = 1
+	}
+	gen := ws.adjGen
+	total := 0.0
+	edgeCount := 0
+	for id := 0; id < m; id++ {
+		mult := mark[id]
+		if mult <= 0 {
+			continue
+		}
+		if mult > 1 {
+			return nil, false // defensive: should not happen for simple paths
+		}
+		e := g.Edge(id)
+		if adjStamp[e.From] != gen {
+			adjStamp[e.From] = gen
+			adjHead[e.From] = -1
+		}
+		adjNext[id] = adjHead[e.From]
+		adjHead[e.From] = int32(id)
+		total += e.Weight
+		edgeCount++
+	}
+	extract := func(buf []int) ([]int, bool) {
+		buf = buf[:0]
+		at := s
+		for at != t {
+			if adjStamp[at] != gen || adjHead[at] < 0 {
+				return buf, false
+			}
+			id := int(adjHead[at])
+			adjHead[at] = adjNext[id]
+			buf = append(buf, id)
+			at = g.Edge(id).To
+			if len(buf) > edgeCount {
+				return buf, false // cycle guard
+			}
+		}
+		return buf, true
+	}
+	var ok1, ok2 bool
+	ws.path1, ok1 = extract(ws.path1)
+	ws.path2, ok2 = extract(ws.path2)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	ws.pair = Pair{Path1: ws.path1, Path2: ws.path2, Weight: total}
+	return &ws.pair, true
+}

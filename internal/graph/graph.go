@@ -8,8 +8,6 @@ package graph
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/pq"
 )
 
 // Inf is the distance reported for unreachable vertices.
@@ -135,6 +133,34 @@ func (g *Graph) EnableAll() {
 	}
 }
 
+// Reset reconfigures g in place to an empty graph over n vertices, keeping
+// every backing array so a scratch graph (e.g. Suurballe's residual graph)
+// can be rebuilt each call without allocating once its capacity has warmed
+// up.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	g.n = n
+	g.edges = g.edges[:0]
+	g.disabled = g.disabled[:0]
+	g.out = resetAdj(g.out, n)
+	g.in = resetAdj(g.in, n)
+}
+
+// resetAdj resizes an adjacency table to n empty per-vertex lists, reusing
+// both the outer array and the per-vertex slices' capacity.
+func resetAdj(a [][]int, n int) [][]int {
+	if cap(a) < n {
+		a = append(a[:cap(a)], make([][]int, n-cap(a))...)
+	}
+	a = a[:n]
+	for i := range a {
+		a[i] = a[i][:0]
+	}
+	return a
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
@@ -194,46 +220,13 @@ func (r *PathResult) PathTo(v int, g *Graph) []int {
 }
 
 // Dijkstra computes single-source shortest paths from src over enabled edges.
-// All enabled edge weights must be non-negative; it panics otherwise.
+// All enabled edge weights must be non-negative; it panics otherwise. It is
+// the one-shot convenience wrapper around DijkstraInto; hot paths should hold
+// a Workspace and call DijkstraInto directly.
 func (g *Graph) Dijkstra(src int) *PathResult {
-	res := &PathResult{
-		Dist:     make([]float64, g.n),
-		PrevEdge: make([]int, g.n),
-		Source:   src,
-	}
-	for v := range res.Dist {
-		res.Dist[v] = Inf
-		res.PrevEdge[v] = -1
-	}
-	res.Dist[src] = 0
-	h := pq.NewIndexedHeap(g.n)
-	h.Push(src, 0)
-	res.HeapOps++
-	for !h.Empty() {
-		u, du := h.Pop()
-		res.HeapOps++
-		if du > res.Dist[u] {
-			continue
-		}
-		for _, id := range g.out[u] {
-			if g.disabled[id] {
-				continue
-			}
-			e := &g.edges[id]
-			if e.Weight < 0 {
-				panic(fmt.Sprintf("graph: Dijkstra on negative edge %d (weight %g)", id, e.Weight))
-			}
-			res.Relaxations++
-			nd := du + e.Weight
-			if nd < res.Dist[e.To] {
-				res.Dist[e.To] = nd
-				res.PrevEdge[e.To] = id
-				h.PushOrDecrease(e.To, nd)
-				res.HeapOps++
-			}
-		}
-	}
-	return res
+	var ws Workspace
+	g.DijkstraInto(&ws, src)
+	return ws.Result(g.n)
 }
 
 // BellmanFord computes single-source shortest paths allowing negative edge

@@ -54,17 +54,17 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// route dispatches to the core router.
-func (a Algorithm) route(net *wdm.Network, s, t int, opts *core.Options) (*core.Result, bool) {
+// routeWith dispatches to the simulator's reusable core router.
+func (a Algorithm) routeWith(r *core.Router, net *wdm.Network, s, t int) (*core.Result, bool) {
 	switch a {
 	case MinCost:
-		return core.ApproxMinCost(net, s, t, opts)
+		return r.ApproxMinCost(net, s, t)
 	case MinLoad:
-		return core.MinLoad(net, s, t, opts)
+		return r.MinLoad(net, s, t)
 	case MinLoadCost:
-		return core.MinLoadCost(net, s, t, opts)
+		return r.MinLoadCost(net, s, t)
 	case TwoStep:
-		return core.TwoStepMinCost(net, s, t, opts)
+		return r.TwoStepMinCost(net, s, t)
 	}
 	panic("netsim: unknown algorithm")
 }
@@ -220,9 +220,10 @@ type event struct {
 
 // Sim is a single simulation instance. Create with New, drive with Run.
 type Sim struct {
-	net *wdm.Network
-	cfg Config
-	rng *rand.Rand
+	net    *wdm.Network
+	cfg    Config
+	rng    *rand.Rand
+	router *core.Router // reused across every arrival and reconfiguration
 
 	events []event
 	q      *pq.PairingHeap
@@ -251,6 +252,7 @@ func New(net *wdm.Network, cfg Config) *Sim {
 		net:          net.Clone(),
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		router:       core.NewRouter(cfg.Opts),
 		q:            pq.NewPairingHeap(),
 		conns:        map[int]*conn{},
 		down:         make([]bool, net.Links()),
@@ -352,14 +354,14 @@ func (s *Sim) handleArrival(r workload.Request) {
 	c := &conn{id: r.ID, s: r.Src, d: r.Dst}
 	switch s.cfg.Restoration {
 	case Active:
-		route := s.cfg.Algorithm.route
-		if s.cfg.RouteFunc != nil {
-			route = func(net *wdm.Network, a, b int, _ *core.Options) (*core.Result, bool) {
-				return s.cfg.RouteFunc(net, a, b)
+		route := s.cfg.RouteFunc
+		if route == nil {
+			route = func(net *wdm.Network, a, b int) (*core.Result, bool) {
+				return s.cfg.Algorithm.routeWith(s.router, net, a, b)
 			}
 		}
 		rt := instr.routeTime.Start()
-		res, ok := route(s.net, r.Src, r.Dst, s.cfg.Opts)
+		res, ok := route(s.net, r.Src, r.Dst)
 		instr.routeTime.Stop(rt)
 		if !ok || core.Establish(s.net, res) != nil {
 			if measured {
@@ -642,7 +644,7 @@ func (s *Sim) maybeReconfigure(t float64) {
 		if oldB != nil {
 			s.releasePath(oldB)
 		}
-		res, ok := core.MinLoad(s.net, c.s, c.d, s.cfg.Opts)
+		res, ok := s.router.MinLoad(s.net, c.s, c.d)
 		if ok && core.Establish(s.net, res) == nil {
 			c.primary, c.backup = res.Primary, res.Backup
 			s.m.ReroutedConns++

@@ -7,11 +7,25 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Map evaluates fn(i) for i in [0, n) using up to workers goroutines
 // (workers ≤ 0 selects GOMAXPROCS) and returns the results in index order.
 func Map[T any](n, workers int, fn func(i int) T) []T {
+	return MapWithState(n, workers,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) T { return fn(i) })
+}
+
+// MapWithState is Map with per-worker state: mk is called once per worker
+// goroutine and its value is passed to every fn call that worker executes.
+// This is how sweeps give each worker its own reusable scratch (a
+// core.Router, an RNG, a decoder buffer) without sharing it across
+// goroutines or recreating it per task. Determinism is unchanged — results
+// depend only on the task index, and state must not leak information between
+// tasks that would make fn(i) depend on scheduling.
+func MapWithState[S, T any](n, workers int, mk func() S, fn func(state S, i int) T) []T {
 	if n < 0 {
 		panic("parallel: negative task count")
 	}
@@ -26,34 +40,26 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 		return out
 	}
 	if workers <= 1 {
+		state := mk()
 		for i := 0; i < n; i++ {
-			out[i] = fn(i)
+			out[i] = fn(state, i)
 		}
 		return out
 	}
-	var next int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(n) {
-			return -1
-		}
-		i := int(next)
-		next++
-		return i
-	}
+	// Lock-free work claiming: each worker atomically takes the next index.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			state := mk()
 			for {
-				i := take()
-				if i < 0 {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(state, int(i))
 			}
 		}()
 	}

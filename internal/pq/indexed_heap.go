@@ -128,6 +128,20 @@ func (h *IndexedHeap) Remove(id int) {
 	}
 }
 
+// Cap returns the size of the id space [0, n) the heap accepts.
+func (h *IndexedHeap) Cap() int { return len(h.pos) }
+
+// Grow extends the id space to [0, n), keeping current contents. It is a
+// no-op when the heap already accepts n ids. Together with Reset this lets a
+// single heap be reused across graphs of different sizes without
+// re-allocating (the shortest-path workspaces rely on it).
+func (h *IndexedHeap) Grow(n int) {
+	for len(h.pos) < n {
+		h.pos = append(h.pos, -1)
+		h.prio = append(h.prio, 0)
+	}
+}
+
 // Reset empties the heap, keeping capacity. Priorities of previously popped
 // items are no longer meaningful after Reset.
 func (h *IndexedHeap) Reset() {

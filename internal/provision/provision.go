@@ -35,14 +35,14 @@ const (
 	NodeDisjoint
 )
 
-func (r Router) route(net *wdm.Network, s, t int, opts *core.Options) (*core.Result, bool) {
+func (r Router) route(eng *core.Router, net *wdm.Network, s, t int) (*core.Result, bool) {
 	switch r {
 	case MinCost:
-		return core.ApproxMinCost(net, s, t, opts)
+		return eng.ApproxMinCost(net, s, t)
 	case MinLoadCost:
-		return core.MinLoadCost(net, s, t, opts)
+		return eng.MinLoadCost(net, s, t)
 	case NodeDisjoint:
-		return core.ApproxMinCostNodeDisjoint(net, s, t, opts)
+		return eng.ApproxMinCostNodeDisjoint(net, s, t)
 	}
 	panic("provision: unknown router")
 }
@@ -123,9 +123,10 @@ func Provision(net *wdm.Network, demands []Demand, cfg Config) *Result {
 	for i, d := range demands {
 		res.Placements[i] = Placement{Demand: d}
 	}
+	eng := core.NewRouter(cfg.Opts)
 	for _, idx := range order {
 		d := demands[idx]
-		r, ok := cfg.Router.route(net, d.Src, d.Dst, cfg.Opts)
+		r, ok := cfg.Router.route(eng, net, d.Src, d.Dst)
 		if !ok || core.Establish(net, r) != nil {
 			res.Failed++
 			continue
@@ -140,7 +141,7 @@ func Provision(net *wdm.Network, demands []Demand, cfg Config) *Result {
 			p := &res.Placements[idx]
 			if p.Route == nil {
 				// Retry failures too: earlier teardowns may have freed room.
-				if r, ok := cfg.Router.route(net, p.Demand.Src, p.Demand.Dst, cfg.Opts); ok &&
+				if r, ok := cfg.Router.route(eng, net, p.Demand.Src, p.Demand.Dst); ok &&
 					core.Establish(net, r) == nil {
 					p.Route = r
 					res.Placed++
@@ -153,7 +154,7 @@ func Provision(net *wdm.Network, demands []Demand, cfg Config) *Result {
 			if err := core.Teardown(net, old); err != nil {
 				panic("provision: teardown failed: " + err.Error())
 			}
-			r, ok := cfg.Router.route(net, p.Demand.Src, p.Demand.Dst, cfg.Opts)
+			r, ok := cfg.Router.route(eng, net, p.Demand.Src, p.Demand.Dst)
 			if ok && r.Cost < old.Cost-1e-9 && core.Establish(net, r) == nil {
 				p.Route = r
 				improvedThisPass++

@@ -66,6 +66,7 @@ func Optimize(net *wdm.Network, conns []*Connection, maxRounds int, opts *core.O
 	res := &Result{}
 	res.LoadBefore, _ = state(net)
 	moved := map[int]bool{}
+	router := core.NewRouter(opts)
 
 	for round := 0; round < maxRounds; round++ {
 		rho, ties := state(net)
@@ -106,7 +107,7 @@ func Optimize(net *wdm.Network, conns []*Connection, maxRounds int, opts *core.O
 			c := cd.c
 			oldP, oldB := c.Primary, c.Backup
 			release(net, oldP, oldB)
-			r, ok := core.MinLoad(net, c.Src, c.Dst, opts)
+			r, ok := router.MinLoad(net, c.Src, c.Dst)
 			if ok && core.Establish(net, r) == nil {
 				nrho, nties := state(net)
 				if nrho < rho-1e-12 || (nrho <= rho+1e-12 && nties < ties) {

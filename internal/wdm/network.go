@@ -106,6 +106,10 @@ type Network struct {
 	in    [][]int // in[v] = link IDs with To == v (E_in(v))
 	conv  []Converter
 	srlg  [][]int // srlg[link] = shared-risk group IDs (lazily allocated)
+
+	// Change counters for cache invalidation (see StateVersion/TopoVersion).
+	stateVersion uint64
+	topoVersion  uint64
 }
 
 // NewNetwork returns a network with n nodes, W wavelengths per system, and
@@ -151,13 +155,36 @@ func (g *Network) In(v int) []int { return g.in[v] }
 func (g *Network) Converter(v int) Converter { return g.conv[v] }
 
 // SetConverter installs a conversion switch at node v.
-func (g *Network) SetConverter(v int, c Converter) { g.conv[v] = c }
+func (g *Network) SetConverter(v int, c Converter) {
+	g.conv[v] = c
+	g.bumpTopo()
+}
 
 // SetAllConverters installs the same switch at every node.
 func (g *Network) SetAllConverters(c Converter) {
 	for v := range g.conv {
 		g.conv[v] = c
 	}
+	g.bumpTopo()
+}
+
+// StateVersion is a counter that advances on every change to the residual
+// state — wavelength reservations and releases as well as structural changes.
+// Derived structures (auxiliary-graph weights, caches of availability-based
+// quantities) are valid exactly while the version they were computed at still
+// matches.
+func (g *Network) StateVersion() uint64 { return g.stateVersion }
+
+// TopoVersion advances on structural changes only — links added or converters
+// replaced — the events that invalidate the auxiliary-graph skeleton (vertex
+// and edge inventory), as opposed to reservations, which invalidate only
+// weights.
+func (g *Network) TopoVersion() uint64 { return g.topoVersion }
+
+// bumpTopo records a structural change (which is also a state change).
+func (g *Network) bumpTopo() {
+	g.topoVersion++
+	g.stateVersion++
 }
 
 // AddLink adds a directed link from → to carrying the given wavelengths at
@@ -195,6 +222,7 @@ func (g *Network) AddLink(from, to int, wavelengths []Wavelength, costs []float6
 	g.links = append(g.links, l)
 	g.out[from] = append(g.out[from], l.ID)
 	g.in[to] = append(g.in[to], l.ID)
+	g.bumpTopo()
 	return l.ID
 }
 
@@ -242,6 +270,7 @@ func (g *Network) Use(id int, lambda Wavelength) error {
 		return fmt.Errorf("wdm: λ%d already in use on link %d", lambda, id)
 	}
 	l.avail.Remove(lambda)
+	g.stateVersion++
 	return nil
 }
 
@@ -259,6 +288,7 @@ func (g *Network) Release(id int, lambda Wavelength) error {
 		return fmt.Errorf("wdm: λ%d not in use on link %d", lambda, id)
 	}
 	l.avail.Add(lambda)
+	g.stateVersion++
 	return nil
 }
 
@@ -293,11 +323,13 @@ func (g *Network) MaxDegree() int {
 // Converters are shared (they are immutable).
 func (g *Network) Clone() *Network {
 	c := &Network{
-		n:    g.n,
-		w:    g.w,
-		out:  make([][]int, g.n),
-		in:   make([][]int, g.n),
-		conv: append([]Converter(nil), g.conv...),
+		n:            g.n,
+		w:            g.w,
+		out:          make([][]int, g.n),
+		in:           make([][]int, g.n),
+		conv:         append([]Converter(nil), g.conv...),
+		stateVersion: g.stateVersion,
+		topoVersion:  g.topoVersion,
 	}
 	for v := 0; v < g.n; v++ {
 		c.out[v] = append([]int(nil), g.out[v]...)
@@ -329,6 +361,7 @@ func (g *Network) ResetAvailability() {
 	for _, l := range g.links {
 		l.avail.CopyFrom(l.lambda)
 	}
+	g.stateVersion++
 }
 
 // TotalAvailable returns the total count of available (link, wavelength)

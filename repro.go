@@ -90,6 +90,18 @@ type RouteOptions = core.Options
 // Route is a routed request: primary + backup plus diagnostics.
 type Route = core.Result
 
+// Router is a reusable routing engine: it keeps its auxiliary-graph
+// skeletons and disjoint-path search workspaces across calls, so a long-lived
+// caller routes requests without per-request graph construction or
+// allocation. The one-shot functions below are equivalent to a fresh Router
+// per call. A Router is not safe for concurrent use; give each goroutine its
+// own.
+type Router = core.Router
+
+// NewRouter returns a reusable Router with the given options (nil for
+// defaults).
+func NewRouter(opts *RouteOptions) *Router { return core.NewRouter(opts) }
+
 // ApproxMinCost finds two edge-disjoint semilightpaths minimising the cost
 // sum (§3.3): auxiliary graph + Suurballe + Lemma 2 refinement. It is a
 // 2-approximation under the paper's assumptions (Theorem 2).
