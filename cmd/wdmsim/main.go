@@ -32,6 +32,7 @@ func main() {
 	reconfigTh := flag.Float64("reconfig", 0.6, "reconfiguration load threshold (0 = off)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	traffic := flag.String("traffic", "uniform", "endpoint model: uniform, gravity")
+	matrixFile := flag.String("matrix", "", "load the traffic matrix from a text file (overrides -traffic)")
 	holding := flag.String("holding", "exp", "holding-time distribution: exp, det, pareto")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file (.json → JSON, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (and /metrics) on this address, e.g. localhost:6060")
@@ -92,10 +93,27 @@ func main() {
 	}
 	sim := netsim.New(net, simCfg)
 	var matrix *workload.Matrix
-	switch *traffic {
-	case "uniform":
+	switch {
+	case *matrixFile != "":
+		fh, err := os.Open(*matrixFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		matrix, err = workload.ParseMatrix(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if matrix.Nodes() != net.Nodes() {
+			fmt.Fprintf(os.Stderr, "traffic matrix is %d×%d but the topology has %d nodes\n",
+				matrix.Nodes(), matrix.Nodes(), net.Nodes())
+			os.Exit(1)
+		}
+	case *traffic == "uniform":
 		matrix = workload.NewUniformMatrix(net.Nodes())
-	case "gravity":
+	case *traffic == "gravity":
 		// Synthetic populations: every third node is a 3× hub.
 		pops := make([]float64, net.Nodes())
 		for i := range pops {

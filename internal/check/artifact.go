@@ -1,0 +1,57 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Artifact is the JSON failure dump the harness and wdmcheck emit: the
+// violation, the instance that produced it, and (when shrinking ran) the
+// minimal shrunk reproduction.
+type Artifact struct {
+	Err      string
+	Op       int
+	Instance *Instance
+	Shrunk   *Instance `json:",omitempty"`
+}
+
+// Encode writes the artifact as indented JSON.
+func (a *Artifact) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// DecodeArtifact parses an artifact and validates the instances it carries.
+func DecodeArtifact(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("check: decode artifact: %w", err)
+	}
+	if a.Instance == nil {
+		return nil, fmt.Errorf("check: artifact has no instance")
+	}
+	if err := a.Instance.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Shrunk != nil {
+		if err := a.Shrunk.Validate(); err != nil {
+			return nil, fmt.Errorf("check: shrunk instance: %w", err)
+		}
+	}
+	return &a, nil
+}
+
+// LoadArtifact reads an artifact from a file.
+func LoadArtifact(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeArtifact(f)
+}

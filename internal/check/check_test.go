@@ -1,0 +1,254 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/wdm"
+)
+
+// diamond builds the 4-node test network used throughout:
+//
+//	0 → 1 → 3   (links 0, 1; cost 1 each)
+//	0 → 2 → 3   (links 2, 3; cost 2 each)
+//
+// with W = 2 and full conversion at cost 0.5.
+func diamond(t *testing.T) *wdm.Network {
+	t.Helper()
+	net := wdm.NewNetwork(4, 2)
+	net.SetAllConverters(wdm.NewFullConverter(2, 0.5))
+	net.AddUniformLink(0, 1, 1)
+	net.AddUniformLink(1, 3, 1)
+	net.AddUniformLink(0, 2, 2)
+	net.AddUniformLink(2, 3, 2)
+	return net
+}
+
+func slp(hops ...wdm.Hop) *wdm.Semilightpath {
+	return &wdm.Semilightpath{Hops: hops}
+}
+
+func TestPathAcceptsValidWalks(t *testing.T) {
+	net := diamond(t)
+	continuous := slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 1, Wavelength: 0})
+	if err := Path(net, continuous, 0, 3); err != nil {
+		t.Errorf("continuous path rejected: %v", err)
+	}
+	converting := slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 1, Wavelength: 1})
+	if err := Path(net, converting, 0, 3); err != nil {
+		t.Errorf("converting path rejected under full conversion: %v", err)
+	}
+	if err := PathAvailable(net, converting, 0, 3); err != nil {
+		t.Errorf("fresh network path not available: %v", err)
+	}
+}
+
+func TestPathRejectsBrokenWalks(t *testing.T) {
+	net := diamond(t)
+	cases := map[string]struct {
+		p    *wdm.Semilightpath
+		s, t int
+		want string
+	}{
+		"empty":         {slp(), 0, 3, "empty"},
+		"disconnected":  {slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 3, Wavelength: 0}), 0, 3, "walk is at"},
+		"wrong dest":    {slp(wdm.Hop{Link: 0, Wavelength: 0}), 0, 3, "ends at node"},
+		"bad link":      {slp(wdm.Hop{Link: 9, Wavelength: 0}), 0, 3, "out of range"},
+		"bad lambda":    {slp(wdm.Hop{Link: 0, Wavelength: 7}), 0, 3, "out of range"},
+		"bad endpoints": {slp(wdm.Hop{Link: 0, Wavelength: 0}), -1, 1, "out of range"},
+	}
+	for name, c := range cases {
+		err := Path(net, c.p, c.s, c.t)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got %v, want error containing %q", name, err, c.want)
+		}
+	}
+}
+
+func TestPathRejectsDisallowedConversion(t *testing.T) {
+	net := wdm.NewNetwork(3, 2)
+	net.SetAllConverters(wdm.NoConverter{})
+	net.AddUniformLink(0, 1, 1)
+	net.AddUniformLink(1, 2, 1)
+	p := slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 1, Wavelength: 1})
+	if err := Path(net, p, 0, 2); err == nil || !strings.Contains(err.Error(), "conversion") {
+		t.Errorf("conversion under NoConverter accepted: %v", err)
+	}
+	if !math.IsInf(PathCost(net, p), 1) {
+		t.Errorf("PathCost of illegal conversion = %g, want +Inf", PathCost(net, p))
+	}
+}
+
+func TestPathRejectsUninstalledWavelength(t *testing.T) {
+	net := wdm.NewNetwork(2, 2)
+	net.SetAllConverters(wdm.NewFullConverter(2, 0))
+	net.AddLink(0, 1, []wdm.Wavelength{0}, []float64{1}) // λ1 not installed
+	p := slp(wdm.Hop{Link: 0, Wavelength: 1})
+	if err := Path(net, p, 0, 1); err == nil || !strings.Contains(err.Error(), "not installed") {
+		t.Errorf("uninstalled wavelength accepted: %v", err)
+	}
+}
+
+func TestAvailabilityAndReservation(t *testing.T) {
+	net := diamond(t)
+	p := slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 1, Wavelength: 0})
+	if err := Reserved(net, p); err == nil {
+		t.Error("Reserved accepted a path whose channels are still available")
+	}
+	if err := net.Reserve(p); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if err := Reserved(net, p); err != nil {
+		t.Errorf("Reserved rejected an established path: %v", err)
+	}
+	if err := PathAvailable(net, p, 0, 3); err == nil {
+		t.Error("PathAvailable accepted a path whose channels are held")
+	}
+	if err := LoadAccounting(net); err != nil {
+		t.Errorf("LoadAccounting after reserve: %v", err)
+	}
+	net.ReleasePath(p)
+	if err := LoadAccounting(net); err != nil {
+		t.Errorf("LoadAccounting after release: %v", err)
+	}
+}
+
+func TestCostRecomputation(t *testing.T) {
+	net := diamond(t)
+	// 0→1 on λ0 (1), convert at node 1 (0.5), 1→3 on λ1 (1): total 2.5.
+	p := slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 1, Wavelength: 1})
+	if got := PathCost(net, p); got != 2.5 {
+		t.Errorf("PathCost = %g, want 2.5", got)
+	}
+	if got, want := PathCost(net, p), p.Cost(net); got != want {
+		t.Errorf("PathCost = %g disagrees with Semilightpath.Cost = %g", got, want)
+	}
+	if err := Cost(net, p, 2.5); err != nil {
+		t.Errorf("Cost rejected the true value: %v", err)
+	}
+	if err := Cost(net, p, 2.5+1e-3); err == nil {
+		t.Error("Cost accepted a value off by 1e-3")
+	}
+}
+
+func TestDisjointness(t *testing.T) {
+	net := diamond(t)
+	top := slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 1, Wavelength: 0})
+	bottom := slp(wdm.Hop{Link: 2, Wavelength: 0}, wdm.Hop{Link: 3, Wavelength: 0})
+	if err := EdgeDisjoint(top, bottom); err != nil {
+		t.Errorf("disjoint pair rejected: %v", err)
+	}
+	if err := NodeDisjoint(net, top, bottom, 0, 3); err != nil {
+		t.Errorf("node-disjoint pair rejected: %v", err)
+	}
+	// Same links on different wavelengths still share the physical edge.
+	topOther := slp(wdm.Hop{Link: 0, Wavelength: 1}, wdm.Hop{Link: 1, Wavelength: 1})
+	if err := EdgeDisjoint(top, topOther); err == nil {
+		t.Error("pair sharing links on different wavelengths accepted as edge-disjoint")
+	}
+	// Edge-disjoint but sharing intermediate node 1.
+	net2 := wdm.NewNetwork(4, 2)
+	net2.SetAllConverters(wdm.NewFullConverter(2, 0))
+	net2.AddUniformLink(0, 1, 1) // 0
+	net2.AddUniformLink(1, 3, 1) // 1
+	net2.AddUniformLink(0, 1, 1) // 2 (parallel)
+	net2.AddUniformLink(1, 3, 1) // 3 (parallel)
+	a := slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 1, Wavelength: 0})
+	b := slp(wdm.Hop{Link: 2, Wavelength: 0}, wdm.Hop{Link: 3, Wavelength: 0})
+	if err := EdgeDisjoint(a, b); err != nil {
+		t.Errorf("parallel-link pair rejected as edge-disjoint: %v", err)
+	}
+	if err := NodeDisjoint(net2, a, b, 0, 3); err == nil {
+		t.Error("pair sharing intermediate node 1 accepted as node-disjoint")
+	}
+}
+
+func TestPairLoad(t *testing.T) {
+	net := diamond(t)
+	p := slp(wdm.Hop{Link: 0, Wavelength: 0}, wdm.Hop{Link: 1, Wavelength: 0})
+	q := slp(wdm.Hop{Link: 2, Wavelength: 0}, wdm.Hop{Link: 3, Wavelength: 0})
+	// Fresh network, W = 2: establishing a pair puts (0+1)/2 on each link.
+	if got := PairLoad(net, p, q); got != 0.5 {
+		t.Errorf("PairLoad = %g, want 0.5", got)
+	}
+	net.Use(0, 1) // one channel on link 0 already busy → (1+1)/2 = 1
+	if got := PairLoad(net, p, q); got != 1 {
+		t.Errorf("PairLoad with one busy channel = %g, want 1", got)
+	}
+}
+
+func TestLoadAccountingTracksUsage(t *testing.T) {
+	net := diamond(t)
+	if err := LoadAccounting(net); err != nil {
+		t.Fatalf("fresh network: %v", err)
+	}
+	net.Use(0, 0)
+	net.Use(0, 1)
+	net.Use(3, 1)
+	if err := LoadAccounting(net); err != nil {
+		t.Errorf("after use: %v", err)
+	}
+	net.Release(0, 1)
+	if err := LoadAccounting(net); err != nil {
+		t.Errorf("after release: %v", err)
+	}
+}
+
+func TestGraphPair(t *testing.T) {
+	g := graph.New(4)
+	e01 := g.AddEdge(0, 1, 1)
+	e13 := g.AddEdge(1, 3, 1)
+	e02 := g.AddEdge(0, 2, 2)
+	e23 := g.AddEdge(2, 3, 2)
+	top, bottom := []int{e01, e13}, []int{e02, e23}
+	if err := GraphPair(g, top, bottom, 0, 3, 6); err != nil {
+		t.Errorf("valid pair rejected: %v", err)
+	}
+	if err := GraphPair(g, top, bottom, 0, 3, 5); err == nil {
+		t.Error("wrong pair weight accepted")
+	}
+	if err := GraphPair(g, top, top, 0, 3, 4); err == nil {
+		t.Error("self-overlapping pair accepted")
+	}
+	if err := GraphPath(g, []int{e01, e23}, 0, 3); err == nil {
+		t.Error("disconnected edge sequence accepted")
+	}
+	g.Disable(e13)
+	if err := GraphPath(g, top, 0, 3); err == nil {
+		t.Error("path over disabled edge accepted")
+	}
+}
+
+// TestValidatorsAgreeWithProduction cross-checks the oracle against the
+// wdm.Semilightpath methods on randomly built paths: both must accept valid
+// paths and agree on cost.
+func TestValidatorsAgreeWithProduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		in := Generate(rng, 6)
+		net, err := in.Build()
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		// Random single-hop and two-hop walks drawn directly from the links.
+		for tries := 0; tries < 20; tries++ {
+			id := rng.Intn(net.Links())
+			l := net.Link(id)
+			var lam wdm.Wavelength = -1
+			l.Lambda().ForEach(func(x int) bool { lam = x; return false })
+			p := slp(wdm.Hop{Link: id, Wavelength: lam})
+			if err := Path(net, p, l.From, l.To); err != nil {
+				t.Fatalf("single hop rejected: %v", err)
+			}
+			if err := p.Validate(net, l.From, l.To); err != nil {
+				t.Fatalf("production validator disagrees: %v", err)
+			}
+			if got, want := PathCost(net, p), p.Cost(net); got != want {
+				t.Fatalf("cost disagreement: oracle %g, production %g", got, want)
+			}
+		}
+	}
+}

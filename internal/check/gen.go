@@ -1,0 +1,323 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/wdm"
+)
+
+// Algo names a routing objective for one establish operation. The harness
+// maps it onto the corresponding core.Router method; keeping the enum here
+// lets instances round-trip through JSON without importing core.
+type Algo int
+
+const (
+	// AlgoMinCost is ApproxMinCost (§3.3).
+	AlgoMinCost Algo = iota
+	// AlgoMinLoad is MinLoad (§4.1).
+	AlgoMinLoad
+	// AlgoMinLoadCost is MinLoadCost (§4.2).
+	AlgoMinLoadCost
+	// AlgoNodeDisjoint is ApproxMinCostNodeDisjoint.
+	AlgoNodeDisjoint
+	numAlgos
+)
+
+// String names the algorithm like the CLI -algo values.
+func (a Algo) String() string {
+	switch a {
+	case AlgoMinCost:
+		return "min-cost"
+	case AlgoMinLoad:
+		return "min-load"
+	case AlgoMinLoadCost:
+		return "min-load-cost"
+	case AlgoNodeDisjoint:
+		return "node-disjoint"
+	}
+	return fmt.Sprintf("algo(%d)", int(a))
+}
+
+// ConvKind selects the conversion model installed at every node.
+type ConvKind int
+
+const (
+	// ConvFull is full-range conversion at one uniform cost (the §3.3
+	// assumption (i); required for Theorem-2 eligibility).
+	ConvFull ConvKind = iota
+	// ConvNone forbids all conversion (the Lemma 1 wavelength-continuity
+	// regime).
+	ConvNone
+	// ConvRange allows |λp−λq| ≤ ConvRange at cost ConvCost·|λp−λq|.
+	ConvRange
+	numConvKinds
+)
+
+// String names the conversion model.
+func (k ConvKind) String() string {
+	switch k {
+	case ConvFull:
+		return "full"
+	case ConvNone:
+		return "none"
+	case ConvRange:
+		return "range"
+	}
+	return fmt.Sprintf("conv(%d)", int(k))
+}
+
+// LinkSpec describes one directed link. A nil Lambdas means the link carries
+// all W wavelengths at the uniform Cost (the §3.3 assumption (ii));
+// otherwise Lambdas/Costs list the installed wavelengths and their
+// individual costs.
+type LinkSpec struct {
+	From, To int
+	Cost     float64
+	Lambdas  []int     `json:",omitempty"`
+	Costs    []float64 `json:",omitempty"`
+}
+
+// Op is one step of a request stream. Teardown ≥ 0 tears down the
+// connection established by Ops[Teardown]; otherwise the op establishes
+// (Src, Dst) with the given algorithm.
+type Op struct {
+	Teardown int
+	Src, Dst int
+	Algo     Algo
+}
+
+// Instance is a self-contained, JSON-serialisable test case: a residual
+// network specification plus a request stream. Build is deterministic, so an
+// instance dumped as a failure artifact replays exactly.
+type Instance struct {
+	// Seed records the generator seed the instance came from (provenance
+	// only; Build does not use it).
+	Seed      int64
+	Nodes     int
+	W         int
+	Conv      ConvKind
+	ConvCost  float64
+	ConvRange int `json:",omitempty"`
+	Links     []LinkSpec
+	Ops       []Op
+}
+
+// Eligible reports whether the instance satisfies the Theorem 2 assumptions
+// — full conversion at identical cost and uniform per-link wavelength costs
+// — under which ApproxMinCost is a 2-approximation and (together with
+// Suurballe's exactness on the auxiliary graph) feasibility matches the
+// exact solvers.
+func (in *Instance) Eligible() bool {
+	if in.Conv != ConvFull {
+		return false
+	}
+	for _, l := range in.Links {
+		if l.Lambdas != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural soundness: dimensions, link endpoints,
+// wavelength indices and costs, and the establish/teardown discipline of the
+// op stream (teardowns reference earlier, still-live establishes). Every
+// instance the generator or the shrinker emits validates; replayed artifacts
+// are validated before building.
+func (in *Instance) Validate() error {
+	if in.Nodes < 2 {
+		return fmt.Errorf("check: instance needs ≥ 2 nodes, has %d", in.Nodes)
+	}
+	if in.W < 1 {
+		return fmt.Errorf("check: instance needs W ≥ 1, has %d", in.W)
+	}
+	if in.Conv < 0 || in.Conv >= numConvKinds {
+		return fmt.Errorf("check: unknown conversion kind %d", in.Conv)
+	}
+	if in.ConvCost < 0 || math.IsInf(in.ConvCost, 0) || math.IsNaN(in.ConvCost) {
+		return fmt.Errorf("check: invalid conversion cost %g", in.ConvCost)
+	}
+	if in.Conv == ConvRange && (in.ConvRange < 0 || in.ConvRange >= in.W) {
+		return fmt.Errorf("check: conversion range %d outside [0,%d)", in.ConvRange, in.W)
+	}
+	for i, l := range in.Links {
+		if l.From < 0 || l.From >= in.Nodes || l.To < 0 || l.To >= in.Nodes {
+			return fmt.Errorf("check: link %d endpoints (%d,%d) out of range", i, l.From, l.To)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("check: link %d is a self-loop at %d", i, l.From)
+		}
+		if l.Lambdas == nil {
+			if l.Cost < 0 || math.IsInf(l.Cost, 0) || math.IsNaN(l.Cost) {
+				return fmt.Errorf("check: link %d has invalid uniform cost %g", i, l.Cost)
+			}
+			continue
+		}
+		if len(l.Lambdas) == 0 || len(l.Lambdas) != len(l.Costs) {
+			return fmt.Errorf("check: link %d wavelength/cost lists malformed", i)
+		}
+		seen := map[int]bool{}
+		for j, lam := range l.Lambdas {
+			if lam < 0 || lam >= in.W {
+				return fmt.Errorf("check: link %d: λ%d out of range [0,%d)", i, lam, in.W)
+			}
+			if seen[lam] {
+				return fmt.Errorf("check: link %d: λ%d listed twice", i, lam)
+			}
+			seen[lam] = true
+			if c := l.Costs[j]; c < 0 || math.IsInf(c, 0) || math.IsNaN(c) {
+				return fmt.Errorf("check: link %d: invalid cost %g for λ%d", i, c, lam)
+			}
+		}
+	}
+	live := map[int]bool{}
+	for i, op := range in.Ops {
+		if op.Teardown >= 0 {
+			if op.Teardown >= i || in.Ops[op.Teardown].Teardown >= 0 {
+				return fmt.Errorf("check: op %d tears down invalid op %d", i, op.Teardown)
+			}
+			if !live[op.Teardown] {
+				return fmt.Errorf("check: op %d tears down op %d twice (or it never established)", i, op.Teardown)
+			}
+			delete(live, op.Teardown)
+			continue
+		}
+		if op.Src < 0 || op.Src >= in.Nodes || op.Dst < 0 || op.Dst >= in.Nodes || op.Src == op.Dst {
+			return fmt.Errorf("check: op %d has invalid endpoints (%d,%d)", i, op.Src, op.Dst)
+		}
+		if op.Algo < 0 || op.Algo >= numAlgos {
+			return fmt.Errorf("check: op %d has unknown algorithm %d", i, op.Algo)
+		}
+		live[i] = true
+	}
+	return nil
+}
+
+// Build constructs the wdm.Network the instance describes. It is
+// deterministic: building twice yields identical networks (the differential
+// harness relies on this for its two arms).
+func (in *Instance) Build() (*wdm.Network, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	net := wdm.NewNetwork(in.Nodes, in.W)
+	switch in.Conv {
+	case ConvFull:
+		net.SetAllConverters(wdm.NewFullConverter(in.W, in.ConvCost))
+	case ConvNone:
+		net.SetAllConverters(wdm.NoConverter{})
+	case ConvRange:
+		net.SetAllConverters(wdm.NewRangeConverter(in.ConvRange, in.ConvCost))
+	}
+	for _, l := range in.Links {
+		if l.Lambdas == nil {
+			net.AddUniformLink(l.From, l.To, l.Cost)
+		} else {
+			net.AddLink(l.From, l.To, l.Lambdas, l.Costs)
+		}
+	}
+	return net, nil
+}
+
+// Generate draws a random instance: a small connected digraph (bidirected
+// ring plus random chords, so edge-disjoint pairs usually exist), a
+// conversion model, a cost model (uniform per §3.3 assumption (ii), or
+// heterogeneous per-wavelength), and an establish/teardown request stream.
+// maxNodes caps the node count (values < 4 are raised to 4). The instance
+// depends only on the stream of rng draws, so a seeded rng reproduces it.
+func Generate(rng *rand.Rand, maxNodes int) *Instance {
+	if maxNodes < 4 {
+		maxNodes = 4
+	}
+	n := 3 + rng.Intn(maxNodes-2)
+	w := 1 + rng.Intn(3)
+	in := &Instance{Nodes: n, W: w}
+
+	switch r := rng.Float64(); {
+	case r < 0.6:
+		in.Conv = ConvFull
+		in.ConvCost = round3(rng.Float64() * 1.5)
+	case r < 0.8:
+		in.Conv = ConvNone
+	default:
+		in.Conv = ConvRange
+		in.ConvRange = rng.Intn(w)
+		in.ConvCost = round3(rng.Float64())
+	}
+	uniform := in.Conv != ConvFull || rng.Float64() < 0.7
+
+	addLink := func(u, v int) {
+		if uniform {
+			in.Links = append(in.Links, LinkSpec{From: u, To: v, Cost: round3(0.5 + rng.Float64()*3)})
+			return
+		}
+		var lams []int
+		var costs []float64
+		for lam := 0; lam < w; lam++ {
+			if rng.Float64() < 0.75 {
+				lams = append(lams, lam)
+				costs = append(costs, round3(0.5+rng.Float64()*3))
+			}
+		}
+		if len(lams) == 0 {
+			lams = append(lams, rng.Intn(w))
+			costs = append(costs, round3(0.5+rng.Float64()*3))
+		}
+		in.Links = append(in.Links, LinkSpec{From: u, To: v, Lambdas: lams, Costs: costs})
+	}
+	for v := 0; v < n; v++ {
+		addLink(v, (v+1)%n)
+		addLink((v+1)%n, v)
+	}
+	for i := rng.Intn(n + 1); i > 0; i-- {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			addLink(u, v)
+		}
+	}
+
+	var live []int
+	nOps := 3 + rng.Intn(10)
+	for i := 0; i < nOps; i++ {
+		if len(live) > 0 && rng.Float64() < 0.3 {
+			j := rng.Intn(len(live))
+			in.Ops = append(in.Ops, Op{Teardown: live[j]})
+			live = append(live[:j], live[j+1:]...)
+			continue
+		}
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		var algo Algo
+		switch r := rng.Float64(); {
+		case r < 0.4:
+			algo = AlgoMinCost
+		case r < 0.6:
+			algo = AlgoMinLoad
+		case r < 0.8:
+			algo = AlgoMinLoadCost
+		default:
+			algo = AlgoNodeDisjoint
+		}
+		in.Ops = append(in.Ops, Op{Teardown: -1, Src: src, Dst: dst, Algo: algo})
+		live = append(live, len(in.Ops)-1)
+	}
+	return in
+}
+
+// GenerateSeeded draws the instance a fresh rand.Rand seeded with seed
+// produces, and records the seed for provenance. Same seed, same instance.
+func GenerateSeeded(seed int64, maxNodes int) *Instance {
+	in := Generate(rand.New(rand.NewSource(seed)), maxNodes)
+	in.Seed = seed
+	return in
+}
+
+// round3 quantises costs to 1/1024 steps. Coarse dyadic costs keep the
+// instances human-readable after shrinking and make exact float comparisons
+// across differential arms well-behaved without affecting coverage.
+func round3(x float64) float64 { return math.Round(x*1024) / 1024 }

@@ -1,0 +1,227 @@
+package check
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := GenerateSeeded(seed, 7)
+		b := GenerateSeeded(seed, 7)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+func TestGeneratedInstancesValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		in := Generate(rng, 8)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("instance %d invalid: %v\n%+v", i, err, in)
+		}
+		if _, err := in.Build(); err != nil {
+			t.Fatalf("instance %d does not build: %v", i, err)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	in := GenerateSeeded(11, 7)
+	a, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := in.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes() != b.Nodes() || a.Links() != b.Links() || a.W() != b.W() ||
+		a.TotalAvailable() != b.TotalAvailable() {
+		t.Fatal("two builds of the same instance differ")
+	}
+	for id := 0; id < a.Links(); id++ {
+		la, lb := a.Link(id), b.Link(id)
+		if la.From != lb.From || la.To != lb.To || la.N() != lb.N() {
+			t.Fatalf("link %d differs between builds", id)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	base := func() *Instance {
+		return &Instance{
+			Nodes: 3, W: 2, Conv: ConvFull, ConvCost: 0.5,
+			Links: []LinkSpec{{From: 0, To: 1, Cost: 1}, {From: 1, To: 2, Cost: 1}},
+			Ops: []Op{
+				{Teardown: -1, Src: 0, Dst: 2, Algo: AlgoMinCost},
+				{Teardown: 0},
+			},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base instance invalid: %v", err)
+	}
+	corrupt := map[string]func(*Instance){
+		"no nodes":           func(in *Instance) { in.Nodes = 1 },
+		"no wavelengths":     func(in *Instance) { in.W = 0 },
+		"bad conv":           func(in *Instance) { in.Conv = 99 },
+		"negative conv cost": func(in *Instance) { in.ConvCost = -1 },
+		"self loop":          func(in *Instance) { in.Links[0].To = 0 },
+		"link endpoint":      func(in *Instance) { in.Links[1].To = 9 },
+		"negative cost":      func(in *Instance) { in.Links[0].Cost = -2 },
+		"lambda range":       func(in *Instance) { in.Links[0].Lambdas = []int{5}; in.Links[0].Costs = []float64{1} },
+		"lambda dupe":        func(in *Instance) { in.Links[0].Lambdas = []int{0, 0}; in.Links[0].Costs = []float64{1, 1} },
+		"list mismatch":      func(in *Instance) { in.Links[0].Lambdas = []int{0, 1}; in.Links[0].Costs = []float64{1} },
+		"forward teardown":   func(in *Instance) { in.Ops[1].Teardown = 1 },
+		"op self loop":       func(in *Instance) { in.Ops[0].Dst = 0 },
+		"op endpoint":        func(in *Instance) { in.Ops[0].Src = -3 },
+		"op algo":            func(in *Instance) { in.Ops[0].Algo = 42 },
+		"double teardown":    func(in *Instance) { in.Ops = append(in.Ops, Op{Teardown: 0}) },
+	}
+	for name, mutate := range corrupt {
+		in := base()
+		mutate(in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("%s: corruption not caught", name)
+		}
+	}
+}
+
+func TestEligible(t *testing.T) {
+	in := GenerateSeeded(1, 6)
+	in.Conv = ConvFull
+	for i := range in.Links {
+		in.Links[i].Lambdas, in.Links[i].Costs = nil, nil
+	}
+	if !in.Eligible() {
+		t.Error("uniform full-conversion instance not eligible")
+	}
+	in.Conv = ConvNone
+	if in.Eligible() {
+		t.Error("no-conversion instance eligible")
+	}
+	in.Conv = ConvFull
+	in.Links[0].Lambdas, in.Links[0].Costs = []int{0}, []float64{1}
+	if in.Eligible() {
+		t.Error("heterogeneous-link instance eligible")
+	}
+}
+
+// TestShrinkMinimises drives the shrinker with a synthetic deterministic
+// predicate — "the instance still contains a min-cost establish" — and
+// expects a minimal reproduction: exactly one op, two nodes, one wavelength,
+// and only links the instance needs to stay valid.
+func TestShrinkMinimises(t *testing.T) {
+	in := GenerateSeeded(3, 9)
+	fails := func(c *Instance) bool {
+		for _, op := range c.Ops {
+			if op.Teardown < 0 && op.Algo == AlgoMinCost {
+				return true
+			}
+		}
+		return false
+	}
+	if !fails(in) {
+		t.Skip("seed produced no min-cost op")
+	}
+	out := Shrink(in, fails, 0)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("shrunk instance invalid: %v", err)
+	}
+	if !fails(out) {
+		t.Fatal("shrunk instance no longer fails")
+	}
+	if len(out.Ops) != 1 {
+		t.Errorf("shrunk to %d ops, want 1", len(out.Ops))
+	}
+	if out.Nodes != 2 {
+		t.Errorf("shrunk to %d nodes, want 2", out.Nodes)
+	}
+	if out.W != 1 {
+		t.Errorf("shrunk to W = %d, want 1", out.W)
+	}
+	if len(out.Links) != 0 {
+		t.Errorf("shrunk keeps %d links, want 0 (predicate ignores links)", len(out.Links))
+	}
+	if fails(in) && in.Nodes < 3 {
+		t.Error("original instance mutated by shrinking")
+	}
+}
+
+func TestShrinkPreservesTeardownDiscipline(t *testing.T) {
+	in := &Instance{
+		Nodes: 4, W: 2, Conv: ConvFull, ConvCost: 0.25,
+		Links: []LinkSpec{
+			{From: 0, To: 1, Cost: 1}, {From: 1, To: 0, Cost: 1},
+			{From: 1, To: 2, Cost: 1}, {From: 2, To: 1, Cost: 1},
+			{From: 2, To: 3, Cost: 1}, {From: 3, To: 2, Cost: 1},
+			{From: 3, To: 0, Cost: 1}, {From: 0, To: 3, Cost: 1},
+		},
+		Ops: []Op{
+			{Teardown: -1, Src: 0, Dst: 2, Algo: AlgoMinCost},
+			{Teardown: -1, Src: 1, Dst: 3, Algo: AlgoMinLoad},
+			{Teardown: 0},
+			{Teardown: -1, Src: 2, Dst: 0, Algo: AlgoMinLoadCost},
+			{Teardown: 1},
+			{Teardown: 3},
+		},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	// Predicate needs the min-load-cost op; everything else should go, and
+	// every intermediate candidate must keep teardown indices consistent
+	// (Shrink's try() validates each one, so an inconsistency would surface
+	// as a failure to shrink at all).
+	fails := func(c *Instance) bool {
+		for _, op := range c.Ops {
+			if op.Teardown < 0 && op.Algo == AlgoMinLoadCost {
+				return true
+			}
+		}
+		return false
+	}
+	out := Shrink(in, fails, 0)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("shrunk instance invalid: %v", err)
+	}
+	if len(out.Ops) != 1 || out.Ops[0].Algo != AlgoMinLoadCost {
+		t.Fatalf("want a single min-load-cost op, got %+v", out.Ops)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	in := GenerateSeeded(5, 6)
+	art := &Artifact{Err: "op 2 (min-cost): synthetic", Op: 2, Instance: in, Shrunk: GenerateSeeded(6, 4)}
+	var buf bytes.Buffer
+	if err := art.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(art, got) {
+		t.Errorf("round trip changed the artifact:\nin:  %+v\nout: %+v", art, got)
+	}
+}
+
+func TestDecodeArtifactRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":          "not json",
+		"no instance":      `{"Err":"x"}`,
+		"invalid instance": `{"Err":"x","Instance":{"Nodes":0,"W":1}}`,
+		"unknown field":    `{"Err":"x","Bogus":1,"Instance":{"Nodes":2,"W":1}}`,
+	}
+	for name, s := range cases {
+		if _, err := DecodeArtifact(strings.NewReader(s)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/check"
+)
+
+// FuzzDifferential lets the fuzzer drive the generator seed and size budget
+// directly: whatever instance comes out must survive the full differential
+// run — both router arms agreeing, every invariant holding, exact
+// comparisons passing on eligible instances — without a violation or panic.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(6))
+	f.Add(int64(42), uint8(4))
+	f.Add(int64(-7), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, size uint8) {
+		maxNodes := 4 + int(size%5) // 4..8
+		in := check.GenerateSeeded(seed, maxNodes)
+		cfg := Config{Exact: maxNodes <= 6, NoShrink: true}
+		if err := RunInstance(in, cfg, nil); err != nil {
+			t.Fatalf("seed %d size %d: %v", seed, maxNodes, err)
+		}
+	})
+}

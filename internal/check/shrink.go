@@ -1,0 +1,172 @@
+package check
+
+// Shrink greedily minimises a failing instance: while the fails predicate
+// keeps returning true it drops request-stream operations, removes links,
+// renumbers away unused nodes, and reduces the wavelength count, restarting
+// the strategy list after every round of progress. The predicate must be
+// deterministic (the harness's instance runner is). budget caps the number
+// of predicate evaluations (≤ 0 means 2000); the original instance is never
+// mutated.
+func Shrink(in *Instance, fails func(*Instance) bool, budget int) *Instance {
+	if budget <= 0 {
+		budget = 2000
+	}
+	cur := in.clone()
+	try := func(cand *Instance) bool {
+		if cand == nil || budget <= 0 || cand.Validate() != nil {
+			return false
+		}
+		budget--
+		if fails(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+	for progress := true; progress && budget > 0; {
+		progress = false
+		// Drop ops, newest first (a teardown goes alone; an establish takes
+		// its teardown with it).
+		for i := len(cur.Ops) - 1; i >= 0 && i < len(cur.Ops); i-- {
+			if try(cur.dropOp(i)) {
+				progress = true
+			}
+		}
+		// Drop links.
+		for i := len(cur.Links) - 1; i >= 0 && i < len(cur.Links); i-- {
+			cand := cur.clone()
+			cand.Links = append(cand.Links[:i], cand.Links[i+1:]...)
+			if try(cand) {
+				progress = true
+			}
+		}
+		// Renumber away nodes nothing references any more.
+		for v := cur.Nodes - 1; v >= 0 && cur.Nodes > 2; v-- {
+			if try(cur.dropNode(v)) {
+				progress = true
+			}
+		}
+		// Peel off the top wavelength.
+		for cur.W > 1 && try(cur.dropWavelength()) {
+			progress = true
+		}
+	}
+	return cur
+}
+
+// clone returns a deep copy of the instance.
+func (in *Instance) clone() *Instance {
+	c := *in
+	c.Links = make([]LinkSpec, len(in.Links))
+	for i, l := range in.Links {
+		c.Links[i] = l
+		if l.Lambdas != nil {
+			c.Links[i].Lambdas = append([]int(nil), l.Lambdas...)
+			c.Links[i].Costs = append([]float64(nil), l.Costs...)
+		}
+	}
+	c.Ops = append([]Op(nil), in.Ops...)
+	return &c
+}
+
+// dropOp removes op i (plus, for an establish, the teardown referencing it)
+// and remaps the surviving teardown indices.
+func (in *Instance) dropOp(i int) *Instance {
+	c := in.clone()
+	drop := make([]bool, len(c.Ops))
+	drop[i] = true
+	if c.Ops[i].Teardown < 0 {
+		for j := i + 1; j < len(c.Ops); j++ {
+			if c.Ops[j].Teardown == i {
+				drop[j] = true
+			}
+		}
+	}
+	newIdx := make([]int, len(c.Ops))
+	ops := c.Ops[:0:0]
+	for j, op := range c.Ops {
+		if drop[j] {
+			newIdx[j] = -1
+			continue
+		}
+		newIdx[j] = len(ops)
+		ops = append(ops, op)
+	}
+	for j := range ops {
+		if ops[j].Teardown >= 0 {
+			ops[j].Teardown = newIdx[ops[j].Teardown]
+		}
+	}
+	c.Ops = ops
+	return c
+}
+
+// dropNode renumbers node v away, or returns nil when a link or an establish
+// still references it.
+func (in *Instance) dropNode(v int) *Instance {
+	for _, l := range in.Links {
+		if l.From == v || l.To == v {
+			return nil
+		}
+	}
+	for _, op := range in.Ops {
+		if op.Teardown < 0 && (op.Src == v || op.Dst == v) {
+			return nil
+		}
+	}
+	c := in.clone()
+	c.Nodes--
+	for i := range c.Links {
+		if c.Links[i].From > v {
+			c.Links[i].From--
+		}
+		if c.Links[i].To > v {
+			c.Links[i].To--
+		}
+	}
+	for i := range c.Ops {
+		if c.Ops[i].Teardown < 0 {
+			if c.Ops[i].Src > v {
+				c.Ops[i].Src--
+			}
+			if c.Ops[i].Dst > v {
+				c.Ops[i].Dst--
+			}
+		}
+	}
+	return c
+}
+
+// dropWavelength removes the top wavelength λ = W−1. Heterogeneous links
+// lose that wavelength (and vanish entirely when it was their last); a range
+// converter's reach is clamped.
+func (in *Instance) dropWavelength() *Instance {
+	if in.W <= 1 {
+		return nil
+	}
+	c := in.clone()
+	c.W--
+	if c.Conv == ConvRange && c.ConvRange >= c.W {
+		c.ConvRange = c.W - 1
+	}
+	links := c.Links[:0:0]
+	for _, l := range c.Links {
+		if l.Lambdas != nil {
+			var lams []int
+			var costs []float64
+			for j, lam := range l.Lambdas {
+				if lam < c.W {
+					lams = append(lams, lam)
+					costs = append(costs, l.Costs[j])
+				}
+			}
+			if len(lams) == 0 {
+				continue
+			}
+			l.Lambdas, l.Costs = lams, costs
+		}
+		links = append(links, l)
+	}
+	c.Links = links
+	return c
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/check"
 	"repro/internal/graph"
 )
 
@@ -31,25 +32,12 @@ func trap() *graph.Graph {
 	return g
 }
 
+// validPair delegates to the check oracle: both paths valid, edge-disjoint,
+// weight equal to the recomputed sum.
 func validPair(t *testing.T, g *graph.Graph, p *Pair, s, d int) {
 	t.Helper()
-	if err := g.ValidatePath(p.Path1, s, d); err != nil {
-		t.Fatalf("path1 invalid: %v", err)
-	}
-	if err := g.ValidatePath(p.Path2, s, d); err != nil {
-		t.Fatalf("path2 invalid: %v", err)
-	}
-	seen := map[int]bool{}
-	for _, id := range p.Path1 {
-		seen[id] = true
-	}
-	for _, id := range p.Path2 {
-		if seen[id] {
-			t.Fatalf("paths share edge %d", id)
-		}
-	}
-	if w := g.PathWeight(p.Path1) + g.PathWeight(p.Path2); math.Abs(w-p.Weight) > 1e-9 {
-		t.Fatalf("Weight = %g, sum = %g", p.Weight, w)
+	if err := check.GraphPair(g, p.Path1, p.Path2, s, d, p.Weight); err != nil {
+		t.Fatal(err)
 	}
 }
 

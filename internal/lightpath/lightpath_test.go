@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/check"
 	"repro/internal/wdm"
 )
 
@@ -308,10 +309,13 @@ func TestQuickOptimalSelfConsistent(t *testing.T) {
 		if !ok {
 			return true
 		}
-		if err := p.ValidateAvailable(g, s, d); err != nil {
+		// The oracle re-derives path legality, availability, and the Eq. 1
+		// cost from first principles, independent of the Semilightpath
+		// accessors the router itself uses.
+		if err := check.PathAvailable(g, p, s, d); err != nil {
 			return false
 		}
-		return math.Abs(p.Cost(g)-cost) < 1e-9
+		return check.Cost(g, p, cost) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,106 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestHeapsAgreeOnRandomStreams drives the indexed binary heap and the
+// pairing heap with the same random push/decrease-key/pop stream and demands
+// identical (value, priority) pop sequences. Priorities are drawn unique so
+// ties cannot legally reorder the two implementations; decrease-keys always
+// go strictly below the current global minimum or strictly between existing
+// keys, staying unique.
+func TestHeapsAgreeOnRandomStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 64
+		ih := NewIndexedHeap(n)
+		ph := NewPairingHeap()
+		nodes := make([]*PairingNode, n)
+		used := map[float64]bool{}
+		draw := func() float64 {
+			for {
+				p := rng.Float64() * 100
+				if !used[p] {
+					used[p] = true
+					return p
+				}
+			}
+		}
+		var inHeap []int
+		for op := 0; op < 400; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4: // push a value not currently queued
+				id := rng.Intn(n)
+				if ih.Contains(id) {
+					continue
+				}
+				p := draw()
+				ih.Push(id, p)
+				nodes[id] = ph.Push(id, p)
+				inHeap = append(inHeap, id)
+			case r < 7: // decrease a random queued key
+				if len(inHeap) == 0 {
+					continue
+				}
+				id := inHeap[rng.Intn(len(inHeap))]
+				cur := ih.Priority(id)
+				p := cur * rng.Float64()
+				if used[p] {
+					continue
+				}
+				used[p] = true
+				ih.DecreaseKey(id, p)
+				ph.DecreaseKey(nodes[id], p)
+			default: // pop
+				if ih.Len() != ph.Len() {
+					t.Logf("Len diverged: indexed %d, pairing %d", ih.Len(), ph.Len())
+					return false
+				}
+				if ih.Empty() {
+					continue
+				}
+				iv, ip := ih.Peek()
+				pv, pp := ph.Peek()
+				if iv != pv || ip != pp {
+					t.Logf("Peek diverged: indexed (%d,%g), pairing (%d,%g)", iv, ip, pv, pp)
+					return false
+				}
+				iv, ip = ih.Pop()
+				pv, pp = ph.Pop()
+				if iv != pv || ip != pp {
+					t.Logf("Pop diverged: indexed (%d,%g), pairing (%d,%g)", iv, ip, pv, pp)
+					return false
+				}
+				for k, id := range inHeap {
+					if id == iv {
+						inHeap = append(inHeap[:k], inHeap[k+1:]...)
+						break
+					}
+				}
+			}
+		}
+		// Drain: the full remaining sequences must match and come out in
+		// strictly increasing priority order.
+		last := -1.0
+		for !ih.Empty() {
+			iv, ip := ih.Pop()
+			pv, pp := ph.Pop()
+			if iv != pv || ip != pp {
+				t.Logf("drain diverged: indexed (%d,%g), pairing (%d,%g)", iv, ip, pv, pp)
+				return false
+			}
+			if ip <= last {
+				t.Logf("drain not sorted: %g after %g", ip, last)
+				return false
+			}
+			last = ip
+		}
+		return ph.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

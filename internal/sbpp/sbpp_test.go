@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/topo"
 	"repro/internal/wdm"
 )
@@ -40,16 +41,7 @@ func TestEstablishSharesBackupChannels(t *testing.T) {
 	// the cheap corridor; primary routing is cost-optimal so both take
 	// 0→1→6 — in that case sharing is illegal and channels must NOT be
 	// shared).
-	p1 := map[int]bool{}
-	for _, h := range c1.Primary.Hops {
-		p1[h.Link] = true
-	}
-	overlap := false
-	for _, h := range c2.Primary.Hops {
-		if p1[h.Link] {
-			overlap = true
-		}
-	}
+	overlap := check.EdgeDisjoint(c1.Primary, c2.Primary) != nil
 	if overlap {
 		if m.SharedChannels() != 0 {
 			t.Fatal("illegal sharing between link-overlapping primaries")
@@ -161,13 +153,10 @@ func TestSharingRuleNeverViolated(t *testing.T) {
 				ids = append(ids, id)
 			}
 			for i := 0; i < len(ids); i++ {
-				pi := m.primaryLinks(ids[i])
 				for j := i + 1; j < len(ids); j++ {
-					for l := range m.primaryLinks(ids[j]) {
-						if pi[l] {
-							t.Fatalf("channel %v shared by overlapping primaries %d/%d",
-								key, ids[i], ids[j])
-						}
+					if err := check.EdgeDisjoint(m.conns[ids[i]].Primary, m.conns[ids[j]].Primary); err != nil {
+						t.Fatalf("channel %v shared by overlapping primaries %d/%d: %v",
+							key, ids[i], ids[j], err)
 					}
 				}
 			}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseMatrix exercises the traffic-matrix parser: it must never panic,
+// every accepted matrix must be square with finite non-negative entries, a
+// zero diagonal, and at least one positive off-diagonal weight (so sampling
+// cannot divide by zero), and Encode → ParseMatrix must be the identity.
+func FuzzParseMatrix(f *testing.F) {
+	f.Add("0 1\n1 0\n")
+	f.Add("# comment\n0 2 1\n2 0 0.5\n1 0.5 0\n")
+	f.Add("0 1e308\n1 0\n")
+	f.Add("0 -1\n1 0\n")
+	f.Add("0 NaN\n1 0\n")
+	f.Add("5 1\n1 5\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseMatrix(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		n := m.Nodes()
+		if n < 2 {
+			t.Fatalf("accepted %d-node matrix", n)
+		}
+		positive := false
+		for i, row := range m.Weight {
+			if len(row) != n {
+				t.Fatalf("accepted ragged row %d: %d entries, want %d", i, len(row), n)
+			}
+			for j, v := range row {
+				if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+					t.Fatalf("accepted entry [%d][%d] = %g", i, j, v)
+				}
+				if i == j && v != 0 {
+					t.Fatalf("diagonal [%d][%d] = %g, want 0", i, j, v)
+				}
+				if i != j && v > 0 {
+					positive = true
+				}
+			}
+		}
+		if !positive {
+			t.Fatal("accepted matrix with no positive off-diagonal entry")
+		}
+		// Accepted matrices must drive the sampler without panicking...
+		reqs := MatrixPoisson(MatrixConfig{Matrix: m, ArrivalRate: 1, MeanHolding: 1, Count: 10, Seed: 1})
+		for _, r := range reqs {
+			if r.Src == r.Dst || m.Weight[r.Src][r.Dst] <= 0 {
+				t.Fatalf("sampled zero-weight pair %d→%d", r.Src, r.Dst)
+			}
+		}
+		// ...and round-trip exactly.
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := ParseMatrix(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(m.Weight, back.Weight) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}

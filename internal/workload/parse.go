@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseMatrix reads a traffic matrix from a plain text table: one
+// whitespace-separated row per line, `#` starts a comment, blank lines are
+// skipped. The matrix must be square with n ≥ 2, every entry finite and
+// non-negative, and at least one positive off-diagonal entry (otherwise no
+// request could ever be drawn). Diagonal entries are forced to zero — self
+// traffic is meaningless.
+func ParseMatrix(r io.Reader) (*Matrix, error) {
+	var rows [][]float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad entry %q", line, f)
+			}
+			if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				return nil, fmt.Errorf("workload: line %d: entry %g must be finite and non-negative", line, v)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read matrix: %w", err)
+	}
+	n := len(rows)
+	if n < 2 {
+		return nil, fmt.Errorf("workload: matrix needs ≥ 2 rows, has %d", n)
+	}
+	positive := false
+	for i, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("workload: row %d has %d entries, want %d (square matrix)", i, len(row), n)
+		}
+		row[i] = 0
+		for j, v := range row {
+			if i != j && v > 0 {
+				positive = true
+			}
+		}
+	}
+	if !positive {
+		return nil, fmt.Errorf("workload: matrix has no positive off-diagonal entry")
+	}
+	return &Matrix{Weight: rows}, nil
+}
+
+// Encode writes the matrix in the format ParseMatrix reads. %g round-trips
+// float64 exactly, so Encode → ParseMatrix is the identity (modulo the
+// forced-zero diagonal).
+func (m *Matrix) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range m.Weight {
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseMatrix(t *testing.T) {
+	in := `
+# 3-node gravity-ish matrix
+0 2 1   # row 0
+2 0 0.5
+1 0.5 0
+`
+	m, err := ParseMatrix(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0, 2, 1}, {2, 0, 0.5}, {1, 0.5, 0}}
+	if !reflect.DeepEqual(m.Weight, want) {
+		t.Fatalf("got %v, want %v", m.Weight, want)
+	}
+	// The parsed matrix must drive MatrixPoisson without panicking.
+	reqs := MatrixPoisson(MatrixConfig{Matrix: m, ArrivalRate: 1, MeanHolding: 1, Count: 50, Seed: 1})
+	for _, r := range reqs {
+		if r.Src == r.Dst || r.Src < 0 || r.Src >= 3 || r.Dst < 0 || r.Dst >= 3 {
+			t.Fatalf("bad request endpoints %d→%d", r.Src, r.Dst)
+		}
+	}
+}
+
+func TestParseMatrixForcesDiagonalZero(t *testing.T) {
+	m, err := ParseMatrix(strings.NewReader("5 1\n1 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight[0][0] != 0 || m.Weight[1][1] != 0 {
+		t.Fatalf("diagonal not zeroed: %v", m.Weight)
+	}
+}
+
+func TestParseMatrixRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"single row":    "0 1\n",
+		"ragged":        "0 1\n1 0 2\n",
+		"non-square":    "0 1 2\n1 0 2\n",
+		"negative":      "0 -1\n1 0\n",
+		"nan":           "0 NaN\n1 0\n",
+		"inf":           "0 +Inf\n1 0\n",
+		"garbage":       "0 x\n1 0\n",
+		"all zero":      "0 0\n0 0\n",
+		"diagonal only": "7 0\n0 7\n",
+	}
+	for name, s := range cases {
+		if _, err := ParseMatrix(strings.NewReader(s)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixEncodeRoundTrip(t *testing.T) {
+	src := NewGravityMatrix([]float64{1, math.Pi, 0.001, 42})
+	var buf bytes.Buffer
+	if err := src.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseMatrix(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\nencoded:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(src.Weight, back.Weight) {
+		t.Fatalf("round trip changed the matrix:\nin:  %v\nout: %v", src.Weight, back.Weight)
+	}
+}
