@@ -79,11 +79,15 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		} else {
-			if err := rep.Failures[0].Encode(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+			err := rep.Failures[0].Encode(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
 			}
-			f.Close()
-			fmt.Fprintf(os.Stderr, "wdmcheck: artifact written to %s\n", *jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "wdmcheck: artifact written to %s\n", *jsonPath)
+			}
 		}
 	}
 	os.Exit(1)

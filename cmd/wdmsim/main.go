@@ -101,7 +101,7 @@ func main() {
 			os.Exit(1)
 		}
 		matrix, err = workload.ParseMatrix(fh)
-		fh.Close()
+		fh.Close() //wdmlint:ignore errcheck-lite file opened read-only, no buffered writes to lose
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -70,16 +70,18 @@ func E11(o Options) *Table {
 			okE, okN bool
 			premium  float64
 		}
-		samples := parallel.Map(seeds, 0, func(i int) sample {
-			net, s, d := c.make(i)
-			re, okE := core.ApproxMinCost(net, s, d, nil)
-			rn, okN := core.ApproxMinCostNodeDisjoint(net, s, d, nil)
-			out := sample{okE: okE, okN: okN}
-			if okE && okN {
-				out.premium = rn.Cost / re.Cost
-			}
-			return out
-		})
+		samples := parallel.MapWithState(seeds, 0,
+			func() *core.Router { return core.NewRouter(nil) },
+			func(router *core.Router, i int) sample {
+				net, s, d := c.make(i)
+				re, okE := router.ApproxMinCost(net, s, d)
+				rn, okN := router.ApproxMinCostNodeDisjoint(net, s, d)
+				out := sample{okE: okE, okN: okN}
+				if okE && okN {
+					out.premium = rn.Cost / re.Cost
+				}
+				return out
+			})
 		okE, okN := 0, 0
 		var prem stats.Stream
 		for _, s := range samples {
@@ -391,6 +393,7 @@ func E16(o Options) *Table {
 				}
 				var routes []*core.Result
 				cost := 0.0
+				router := core.NewRouter(nil)
 				for k := 0; k < 25; k++ {
 					s := rng.Intn(14)
 					d := rng.Intn(13)
@@ -402,7 +405,7 @@ func E16(o Options) *Table {
 					if aware {
 						r, ok = core.ApproxMinCostSRLG(net, s, d, 0, nil)
 					} else {
-						r, ok = core.ApproxMinCost(net, s, d, nil)
+						r, ok = router.ApproxMinCost(net, s, d)
 					}
 					if ok && core.Establish(net, r) == nil {
 						routes = append(routes, r)

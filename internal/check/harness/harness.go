@@ -12,6 +12,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -428,8 +429,15 @@ func RunInstance(in *check.Instance, cfg Config, rep *Report) error {
 	}
 
 	// Drain: every surviving connection releases cleanly and the network
-	// returns to its pristine capacity on both arms.
-	for idx, c := range live {
+	// returns to its pristine capacity on both arms. Drain in op order so a
+	// teardown failure names the same op on every run (mapdet).
+	liveIdx := make([]int, 0, len(live))
+	for idx := range live {
+		liveIdx = append(liveIdx, idx)
+	}
+	sort.Ints(liveIdx)
+	for _, idx := range liveIdx {
+		c := live[idx]
 		if err := core.Teardown(netF, c.fresh); err != nil {
 			return fmt.Errorf("drain op %d (fresh): %w", idx, err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/auxgraph"
 	"repro/internal/disjoint"
@@ -234,12 +235,7 @@ func (r *Router) OptimalLoadOracle(net *wdm.Network, s, t int) (float64, bool) {
 	for r := range ratios {
 		cands = append(cands, r)
 	}
-	// Insertion sort (tiny sets).
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
-		}
-	}
+	sort.Float64s(cands)
 	sk := r.skeleton(net, s, t, false)
 	for _, c := range cands {
 		// Exact filter: keep exactly the links whose post-routing ratio

@@ -23,15 +23,21 @@ func ApproxMinCostSRLG(net *wdm.Network, s, t int, maxPrimaries int, opts *Optio
 	}
 	primaries := lightpath.KShortest(net, s, t, maxPrimaries)
 	for _, primary := range primaries {
+		// Membership map plus a hop-ordered ID list: the risk scan iterates
+		// the list so candidate filtering is deterministic (mapdet).
 		pLinks := map[int]bool{}
+		pIDs := make([]int, 0, len(primary.Hops))
 		for _, h := range primary.Hops {
-			pLinks[h.Link] = true
+			if !pLinks[h.Link] {
+				pLinks[h.Link] = true
+				pIDs = append(pIDs, h.Link)
+			}
 		}
 		allowed := func(id int) bool {
 			if pLinks[id] {
 				return false
 			}
-			for pl := range pLinks {
+			for _, pl := range pIDs {
 				if net.SharesRisk(id, pl) {
 					return false
 				}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// PackageSpec describes one package to load. Specs for packages that are only
+// imported (Analyze false) need just ImportPath and ExportFile; specs to be
+// analyzed are typechecked from source and must list their files. Specs must
+// be ordered dependencies-first (the order `go list -deps` produces).
+type PackageSpec struct {
+	ImportPath string
+	Dir        string
+	Files      []string // absolute paths of the package's .go files
+	ExportFile string   // compiled export data, for import resolution
+	Analyze    bool     // typecheck from source and run analyzers
+}
+
+// Package is one typechecked package ready for analysis.
+type Package struct {
+	Types *types.Package
+	Info  *types.Info
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the JSON
+// package stream.
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// List enumerates the packages matching patterns (relative to dir) together
+// with their transitive dependencies, dependencies-first. Packages matching
+// the patterns themselves are marked Analyze; dependencies resolve from
+// export data only.
+func List(dir string, patterns ...string) ([]PackageSpec, error) {
+	listed, err := goList(dir, append([]string{"-deps", "-export", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var specs []PackageSpec
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		spec := PackageSpec{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			ExportFile: p.Export,
+			Analyze:    !p.DepOnly,
+		}
+		for _, f := range p.GoFiles {
+			spec.Files = append(spec.Files, filepath.Join(p.Dir, f))
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// exportLookup resolves import paths to export data, preferring files named
+// by the specs and falling back to one `go list -export` call per unknown
+// path (cached). It is the lookup function handed to the gc importer.
+type exportLookup struct {
+	files map[string]string // import path -> export file
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.files[path]
+	if !ok {
+		listed, err := goList("", "-export", "--", path)
+		if err != nil {
+			return nil, err
+		}
+		if len(listed) != 1 || listed[0].Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		file = listed[0].Export
+		l.files[path] = file
+	}
+	return os.Open(file)
+}
+
+// chainImporter serves the loader's own typechecked packages first and
+// otherwise defers to the export-data importer.
+type chainImporter struct {
+	own      map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.own[path]; ok {
+		return pkg, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// Check parses and typechecks every Analyze spec, in order, resolving imports
+// against earlier specs and export data. Syntax and type errors abort the
+// load: analyzers only ever see well-typed packages.
+func Check(specs []PackageSpec) ([]*Package, error) {
+	fset := token.NewFileSet()
+	lookup := &exportLookup{files: map[string]string{}}
+	for _, s := range specs {
+		if s.ExportFile != "" {
+			lookup.files[s.ImportPath] = s.ExportFile
+		}
+	}
+	imp := &chainImporter{
+		own:      map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "gc", lookup.lookup),
+	}
+	var out []*Package
+	for _, s := range specs {
+		if !s.Analyze {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range s.Files {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(s.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typechecking %s: %v", s.ImportPath, err)
+		}
+		imp.own[s.ImportPath] = tpkg
+		out = append(out, &Package{Types: tpkg, Info: info, Fset: fset, Files: files})
+	}
+	return out, nil
+}
+
+// Load is List followed by Check: the one-call entry point the driver and the
+// self-test use.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	specs, err := List(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Check(specs)
+}

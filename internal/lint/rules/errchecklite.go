@@ -1,0 +1,134 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// ErrCheckLite flags ignored error returns on a short, curated list of calls
+// where dropping the error loses data silently: trace recorder flushes (the
+// JSONL buffer holds trailing events until Flush/Close), Encode calls on the
+// serialisable artifacts, and file Close on write paths (a failed close after
+// os.Create can discard buffered bytes — the classic NFS/ext4 trap). It is
+// deliberately not a general errcheck: everything else error-shaped is the
+// repo's own business.
+var ErrCheckLite = &lint.Analyzer{
+	Name: "errcheck-lite",
+	Doc:  "error results of trace Flush/Close, artifact Encode, and file Close on write paths must be checked",
+	Run:  runErrCheckLite,
+}
+
+// ecMethodRules match a method by name plus the package-path suffix of its
+// receiver's named type.
+var ecMethodRules = []struct {
+	pkg, method string
+}{
+	{"trace", "Flush"},
+	{"trace", "Close"},
+	{"topofile", "Encode"},
+	{"workload", "Encode"},
+	{"check", "Encode"},
+}
+
+func runErrCheckLite(p *lint.Pass) {
+	for _, f := range p.Files {
+		for _, body := range funcScopes(f) {
+			checkScope(p, body)
+		}
+	}
+}
+
+// checkScope inspects one function frame: the write-path heuristic for file
+// closes is scoped to the frame that opened the file.
+func checkScope(p *lint.Pass, body *ast.BlockStmt) {
+	writePath := false
+	walkShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+			if fn.Name() == "Create" || fn.Name() == "OpenFile" {
+				writePath = true
+			}
+		}
+		return true
+	})
+	walkShallow(body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = s.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = s.Call
+		case *ast.GoStmt:
+			call = s.Call
+		}
+		if call == nil {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || !returnsError(sig) {
+			return true
+		}
+		recvPkg, recvName := recvTypeOf(sig)
+		if recvPkg == nil {
+			return true
+		}
+		for _, rule := range ecMethodRules {
+			if fn.Name() == rule.method && lint.PkgPathIs(recvPkg, rule.pkg) {
+				p.Reportf(call.Pos(), "error from (%s).%s is discarded; buffered data may be lost", recvName, fn.Name())
+				return true
+			}
+		}
+		if writePath && fn.Name() == "Close" && recvPkg.Path() == "os" && recvName == "File" {
+			p.Reportf(call.Pos(), "file Close error is discarded on a write path; a failed close can lose written bytes")
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(p *lint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// returnsError reports whether the signature's last result is error.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// recvTypeOf returns the defining package and name of the receiver's named
+// type, resolving one pointer indirection.
+func recvTypeOf(sig *types.Signature) (*types.Package, string) {
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Pkg(), named.Obj().Name()
+	}
+	return nil, ""
+}

@@ -1,0 +1,104 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// FreshRouter guards the zero-allocation hot path: the package-level routing
+// functions (core.ApproxMinCost and friends) build a throwaway Router — a
+// fresh auxiliary-graph skeleton and Suurballe workspace — per call. That is
+// fine for a one-shot CLI invocation and ruinous inside a loop or in the
+// packages that route per simulated arrival; those must hold a reusable
+// core.Router so the skeleton cache and workspaces amortise.
+var FreshRouter = &lint.Analyzer{
+	Name: "freshrouter",
+	Doc:  "fresh-router wrappers (core.ApproxMinCost, …) must not be called in loops or hot-path packages",
+	Run:  runFreshRouter,
+}
+
+const frPkg = "core"
+
+var frWrappers = map[string]bool{
+	"ApproxMinCost":             true,
+	"ApproxMinCostNodeDisjoint": true,
+	"MinLoad":                   true,
+	"MinLoadCost":               true,
+	"TwoStepMinCost":            true,
+	"OptimalLoadOracle":         true,
+}
+
+// frHotPackages route per request/arrival and must always use a Router.
+var frHotPackages = []string{"netsim", "provision", "reconfig"}
+
+func runFreshRouter(p *lint.Pass) {
+	if lint.PkgPathIs(p.Pkg, frPkg) {
+		return // the defining package implements the wrappers
+	}
+	hot := false
+	for _, h := range frHotPackages {
+		if lint.PkgPathIs(p.Pkg, h) {
+			hot = true
+			break
+		}
+	}
+	for _, f := range p.Files {
+		lint.WalkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			name, ok := frWrapperCallee(p, call)
+			if !ok {
+				return
+			}
+			switch {
+			case hot:
+				p.Reportf(call.Pos(),
+					"hot-path package %s calls core.%s, which builds a throwaway Router per call; hold a reusable core.Router",
+					p.Pkg.Name(), name)
+			case inLoop(stack):
+				p.Reportf(call.Pos(),
+					"core.%s inside a loop rebuilds the auxiliary graph every iteration; hoist a core.Router out of the loop",
+					name)
+			}
+		})
+	}
+}
+
+// frWrapperCallee resolves call's callee and reports whether it is one of the
+// package-level core wrappers.
+func frWrapperCallee(p *lint.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", false
+	}
+	fn, ok := p.ObjectOf(id).(*types.Func)
+	if !ok || !frWrappers[fn.Name()] || !lint.PkgPathIs(fn.Pkg(), frPkg) {
+		return "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", false // Router methods are exactly the fix
+	}
+	return fn.Name(), true
+}
+
+// inLoop reports whether any lexical ancestor is a for or range statement
+// (function literals do not reset the search: a closure built fresh inside a
+// loop still pays the per-call rebuild on every iteration it runs in).
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

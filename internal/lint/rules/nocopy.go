@@ -1,0 +1,172 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// NoCopy is the copylocks-style check for the engine's stateful workspace
+// types. A graph.Workspace owns generation-stamped arrays and an indexed
+// heap; disjoint.Workspace and core.Router build on it; auxgraph.Skeleton
+// caches by identity against network version counters. Copying any of them
+// forks that state: the copy and the original invalidate independently and
+// one of them silently computes on stale scratch memory.
+var NoCopy = &lint.Analyzer{
+	Name: "nocopy",
+	Doc:  "stateful workspace types (graph.Workspace, disjoint.Workspace, auxgraph.Skeleton, core.Router) must not be copied",
+	Run:  runNoCopy,
+}
+
+// ncRegistered lists the protected types as (package path suffix, type name).
+var ncRegistered = [][2]string{
+	{"graph", "Workspace"},
+	{"disjoint", "Workspace"},
+	{"auxgraph", "Skeleton"},
+	{"core", "Router"},
+}
+
+// ncContains reports the registered type t is or contains by value, or ""
+// when none. Pointers, slices, maps and channels stop the descent: sharing
+// through them is exactly the intended use.
+func ncContains(t types.Type) string {
+	return ncContainsRec(t, map[types.Type]bool{})
+}
+
+func ncContainsRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		for _, reg := range ncRegistered {
+			if obj.Name() == reg[1] && lint.PkgPathIs(obj.Pkg(), reg[0]) {
+				return reg[0] + "." + reg[1]
+			}
+		}
+		return ncContainsRec(n.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hit := ncContainsRec(u.Field(i).Type(), seen); hit != "" {
+				return hit
+			}
+		}
+	case *types.Array:
+		return ncContainsRec(u.Elem(), seen)
+	}
+	return ""
+}
+
+// ncCopySource reports whether e reads an existing value (the copyable
+// cases); fresh composite literals and calls are allowed.
+func ncCopySource(e ast.Expr) bool {
+	switch unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func runNoCopy(p *lint.Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncDecl:
+				if s.Recv != nil {
+					for _, field := range s.Recv.List {
+						ncCheckFieldType(p, field, "method %s uses a by-value receiver of %s; use a pointer receiver", s.Name.Name)
+					}
+				}
+				ncCheckSignature(p, s.Type)
+			case *ast.FuncLit:
+				ncCheckSignature(p, s.Type)
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, rhs := range s.Rhs {
+					if isBlank(s.Lhs[i]) {
+						continue // discarding via _ makes no usable copy
+					}
+					ncCheckCopyExpr(p, rhs, "assignment copies %s; copy the pointer instead")
+				}
+			case *ast.ValueSpec:
+				for i, v := range s.Values {
+					if i < len(s.Names) && s.Names[i].Name == "_" {
+						continue
+					}
+					ncCheckCopyExpr(p, v, "declaration copies %s; copy the pointer instead")
+				}
+			case *ast.RangeStmt:
+				if s.Value != nil {
+					if hit := ncContains(p.TypeOf(s.Value)); hit != "" {
+						p.Reportf(s.Value.Pos(), "range copies %s per element; range over indices or pointers", hit)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range s.Args {
+					ncCheckCopyExpr(p, arg, "call passes %s by value; pass a pointer")
+				}
+			case *ast.CompositeLit:
+				for _, elt := range s.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					ncCheckCopyExpr(p, elt, "composite literal copies %s; store a pointer")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ncCheckSignature flags by-value parameters and results of registered types.
+func ncCheckSignature(p *lint.Pass, ft *ast.FuncType) {
+	for _, list := range []*ast.FieldList{ft.Params, ft.Results} {
+		if list == nil {
+			continue
+		}
+		for _, field := range list.List {
+			ncCheckFieldType(p, field, "signature passes %s by value; use a pointer", "")
+		}
+	}
+}
+
+func ncCheckFieldType(p *lint.Pass, field *ast.Field, format, name string) {
+	t := p.TypeOf(field.Type)
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	hit := ncContains(t)
+	if hit == "" {
+		return
+	}
+	if name != "" {
+		p.Reportf(field.Type.Pos(), format, name, hit)
+	} else {
+		p.Reportf(field.Type.Pos(), format, hit)
+	}
+}
+
+func ncCheckCopyExpr(p *lint.Pass, e ast.Expr, format string) {
+	if !ncCopySource(e) {
+		return
+	}
+	t := p.TypeOf(e)
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if hit := ncContains(t); hit != "" {
+		p.Reportf(e.Pos(), format, hit)
+	}
+}

@@ -1,0 +1,68 @@
+// Package app exercises the errcheck-lite rule against the fixture recorder
+// and write-path file handles.
+package app
+
+import (
+	"os"
+
+	"fix/errcheck/trace"
+)
+
+// DropFlush discards the flush error: finding.
+func DropFlush(r *trace.Recorder) {
+	r.Record(1)
+	r.Flush()
+}
+
+// DeferClose discards the close error at exit: finding.
+func DeferClose(r *trace.Recorder) {
+	defer r.Close()
+	r.Record(2)
+}
+
+// Checked propagates the flush error: clean.
+func Checked(r *trace.Recorder) error {
+	r.Record(3)
+	return r.Flush()
+}
+
+// WriteFile creates a file and drops the close error after writing: finding.
+func WriteFile(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// ReadFile only reads, so the deferred close has nothing buffered: clean.
+func ReadFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// Shutdown drops the close error on a recorder that was already flushed; the
+// directive records why that is safe.
+func Shutdown(r *trace.Recorder) {
+	if err := r.Flush(); err != nil {
+		return
+	}
+	r.Close() //wdmlint:ignore errcheck-lite already flushed, close only releases the sink
+}
+
+// BadDirective carries an ignore comment with no reason: the directive is
+// rejected and the finding stays.
+func BadDirective(r *trace.Recorder) {
+	r.Flush() //wdmlint:ignore errcheck-lite
+}

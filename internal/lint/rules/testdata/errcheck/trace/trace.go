@@ -1,0 +1,18 @@
+// Package trace is a fixture recorder whose Flush and Close surface buffered
+// write errors; dropping them loses data silently.
+package trace
+
+// Recorder buffers trace events.
+type Recorder struct{ pending int }
+
+// Record queues one event.
+func (r *Recorder) Record(v int) { r.pending++ }
+
+// Flush drains the buffer and reports the first write error.
+func (r *Recorder) Flush() error {
+	r.pending = 0
+	return nil
+}
+
+// Close flushes and releases the sink.
+func (r *Recorder) Close() error { return r.Flush() }

@@ -1,0 +1,52 @@
+// Package app exercises the loop half of the freshrouter rule.
+package app
+
+import "fix/freshrouter/core"
+
+// Single is a one-shot call: clean.
+func Single() (int, bool) { return core.ApproxMinCost(0, 1) }
+
+// InLoop calls the wrapper per iteration: finding.
+func InLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		c, _ := core.ApproxMinCost(0, i)
+		total += c
+	}
+	return total
+}
+
+// InRangeClosure buries the call in a closure built inside a range loop:
+// finding (the closure runs per iteration all the same).
+func InRangeClosure(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		f := func() int {
+			c, _ := core.MinLoad(0, x)
+			return c
+		}
+		total += f()
+	}
+	return total
+}
+
+// WarmLoop hoists a Router out of the loop: clean.
+func WarmLoop(n int) int {
+	r := core.NewRouter()
+	total := 0
+	for i := 0; i < n; i++ {
+		c, _ := r.ApproxMinCost(0, i)
+		total += c
+	}
+	return total
+}
+
+// Measured deliberately benchmarks the fresh path; the directive records it.
+func Measured(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		c, _ := core.MinLoad(0, i) //wdmlint:ignore freshrouter benchmark arm measures the fresh path on purpose
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+// Package core is a fixture standing in for the real routing package: the
+// package-level functions are fresh-router wrappers, the Router methods are
+// the reusable path.
+package core
+
+// Router is the reusable engine.
+type Router struct{ calls int }
+
+// NewRouter returns a fresh engine.
+func NewRouter() *Router { return &Router{} }
+
+// ApproxMinCost is a fresh-router wrapper.
+func ApproxMinCost(s, t int) (int, bool) { return NewRouter().ApproxMinCost(s, t) }
+
+// MinLoad is a fresh-router wrapper.
+func MinLoad(s, t int) (int, bool) { return NewRouter().MinLoad(s, t) }
+
+// ApproxMinCost is the warm path.
+func (r *Router) ApproxMinCost(s, t int) (int, bool) {
+	r.calls++
+	return s + t, true
+}
+
+// MinLoad is the warm path.
+func (r *Router) MinLoad(s, t int) (int, bool) {
+	r.calls++
+	return s + t, true
+}

@@ -1,0 +1,11 @@
+// Package netsim is a fixture hot-path package: wrapper calls are flagged
+// even outside loops.
+package netsim
+
+import "fix/freshrouter/core"
+
+// Route routes one arrival with a throwaway Router: finding.
+func Route(s, t int) (int, bool) { return core.ApproxMinCost(s, t) }
+
+// RouteWarm uses the caller's Router: clean.
+func RouteWarm(r *core.Router, s, t int) (int, bool) { return r.ApproxMinCost(s, t) }

@@ -1,0 +1,11 @@
+// Package other is not on the deterministic list: map iteration is fine here.
+package other
+
+// Sum folds map values in iteration order: clean (package out of scope).
+func Sum(m map[int]float64) float64 {
+	total := 0.0
+	for _, c := range m {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,49 @@
+// Package app exercises the nocopy rule against the fixture workspace.
+package app
+
+import "fix/nocopy/graph"
+
+// Holder embeds a workspace by value: containment is fine; copying Holder
+// copies the workspace and is flagged wherever it happens.
+type Holder struct {
+	WS graph.Workspace
+}
+
+// UsePtr passes by pointer: clean.
+func UsePtr(ws *graph.Workspace) { ws.Reset() }
+
+// UseValue passes by value: finding (parameter).
+func UseValue(ws graph.Workspace) int { return ws.Len() }
+
+// CopyOut returns a copy: finding (result type), finding (assignment).
+func CopyOut(ws *graph.Workspace) graph.Workspace {
+	w := *ws
+	return w
+}
+
+// Fresh zero values and composite literals are clean.
+func Fresh() *graph.Workspace {
+	var ws graph.Workspace
+	w2 := &graph.Workspace{}
+	w2.Reset()
+	return &ws
+}
+
+// RangeCopy iterates holders by value: finding (range).
+func RangeCopy(hs []Holder) int {
+	n := 0
+	for _, h := range hs {
+		n += int(h.WS.Gen())
+	}
+	return n
+}
+
+// PassValue hands a dereferenced workspace to an any-sink: finding (call).
+func PassValue(ws *graph.Workspace, sink func(any)) {
+	sink(*ws)
+}
+
+// Snapshot deliberately copies a quiesced workspace; the directive records it.
+func Snapshot(ws *graph.Workspace) graph.Workspace { //wdmlint:ignore nocopy test-only snapshot of a quiesced workspace
+	return *ws
+}

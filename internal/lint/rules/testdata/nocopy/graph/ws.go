@@ -1,0 +1,18 @@
+// Package graph is a fixture defining a registered workspace type.
+package graph
+
+// Workspace owns generation-stamped scratch state; copying it forks the
+// generation counter and the copy reads stale memory.
+type Workspace struct {
+	dist []float64
+	gen  uint32
+}
+
+// Reset advances the generation.
+func (ws *Workspace) Reset() { ws.gen++ }
+
+// Len reports the scratch size.
+func (ws *Workspace) Len() int { return len(ws.dist) }
+
+// Gen reports the current generation.
+func (ws *Workspace) Gen() uint32 { return ws.gen }

@@ -1,0 +1,163 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// VersionBump guards the skeleton-cache invalidation contract: every exported
+// wdm.Network method that writes residual or topology state must advance the
+// change counters by calling bumpState or bumpTopo (auxgraph.Skeleton and the
+// Router's per-pair caches are valid exactly while the version they were
+// computed at still matches — a missed bump silently serves stale routes).
+var VersionBump = &lint.Analyzer{
+	Name: "versionbump",
+	Doc:  "exported wdm.Network methods that mutate state must call bumpState/bumpTopo",
+	Run:  runVersionBump,
+}
+
+const (
+	vbPkg  = "wdm"
+	vbType = "Network"
+)
+
+var (
+	// vbBumps are the methods (and raw counter fields) that count as
+	// advancing a version.
+	vbBumps  = map[string]bool{"bumpState": true, "bumpTopo": true}
+	vbFields = map[string]bool{"stateVersion": true, "topoVersion": true}
+	// vbMutators are method names that mutate a container reached from the
+	// receiver (bitset and slice surgery on links and availability sets).
+	vbMutators = map[string]bool{
+		"Add": true, "Remove": true, "Clear": true, "CopyFrom": true, "Fill": true,
+	}
+)
+
+func runVersionBump(p *lint.Pass) {
+	if !lint.PkgPathIs(p.Pkg, vbPkg) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if len(recv.Names) == 0 {
+				continue // receiver unnamed: the body cannot write through it
+			}
+			if !lint.NamedType(p.TypeOf(recv.Type), vbPkg, vbType) {
+				continue
+			}
+			recvObj := p.ObjectOf(recv.Names[0])
+			if recvObj == nil {
+				continue
+			}
+			writes, bumps := scanNetworkMethod(p, fd.Body, recvObj)
+			if writes && !bumps {
+				p.Reportf(fd.Name.Pos(),
+					"%s.%s mutates network state without calling bumpState or bumpTopo; cached skeletons will serve stale routes",
+					vbType, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// scanNetworkMethod walks a method body tracking which local variables alias
+// state reachable from the receiver ("rooted" values) and reports whether the
+// body writes such state and whether it advances a version counter.
+func scanNetworkMethod(p *lint.Pass, body *ast.BlockStmt, recv types.Object) (writes, bumps bool) {
+	rooted := map[types.Object]bool{recv: true}
+
+	isRooted := func(e ast.Expr) bool {
+		for {
+			switch x := unparen(e).(type) {
+			case *ast.Ident:
+				return rooted[p.ObjectOf(x)]
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return false
+			}
+		}
+	}
+	// isReceiver reports whether e is the receiver identifier itself.
+	isReceiver := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && p.ObjectOf(id) == recv
+	}
+	// markAlias records LHS identifiers of a rooted RHS as rooted.
+	markAlias := func(lhs ast.Expr, rhs ast.Expr) {
+		if !isRooted(rhs) {
+			return
+		}
+		if id, ok := unparen(lhs).(*ast.Ident); ok {
+			if obj := p.ObjectOf(id); obj != nil {
+				rooted[obj] = true
+			}
+		}
+	}
+	// recordWrite classifies a mutated lvalue: version-counter fields count
+	// as bumps, everything else rooted counts as a state write.
+	recordWrite := func(lhs ast.Expr) {
+		lhs = unparen(lhs)
+		if sel, ok := lhs.(*ast.SelectorExpr); ok && isReceiver(sel.X) && vbFields[sel.Sel.Name] {
+			bumps = true
+			return
+		}
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			if isRooted(lhs) {
+				writes = true
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					markAlias(s.Lhs[i], s.Rhs[i])
+				}
+			}
+			for _, lhs := range s.Lhs {
+				recordWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			recordWrite(s.X)
+		case *ast.RangeStmt:
+			if isRooted(s.X) {
+				for _, v := range []ast.Expr{s.Key, s.Value} {
+					if v != nil {
+						markAlias(v, s.X)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := unparen(s.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isReceiver(sel.X):
+				if vbBumps[sel.Sel.Name] {
+					bumps = true
+				}
+				// Other receiver methods are delegation: the callee is
+				// checked on its own.
+			case isRooted(sel.X) && vbMutators[sel.Sel.Name]:
+				writes = true
+			}
+		}
+		return true
+	})
+	return writes, bumps
+}

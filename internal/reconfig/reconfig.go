@@ -64,7 +64,7 @@ func Optimize(net *wdm.Network, conns []*Connection, maxRounds int, opts *core.O
 		maxRounds = 10
 	}
 	res := &Result{}
-	res.LoadBefore, _ = state(net)
+	res.LoadBefore = net.NetworkLoad()
 	moved := map[int]bool{}
 	router := core.NewRouter(opts)
 
@@ -131,7 +131,7 @@ func Optimize(net *wdm.Network, conns []*Connection, maxRounds int, opts *core.O
 			break
 		}
 	}
-	res.LoadAfter, _ = state(net)
+	res.LoadAfter = net.NetworkLoad()
 	res.Moves = len(moved)
 	return res
 }

@@ -187,6 +187,9 @@ func Save(path string, f *File) error {
 	if err != nil {
 		return fmt.Errorf("topofile: %w", err)
 	}
-	defer fh.Close()
-	return f.Encode(fh)
+	err = f.Encode(fh)
+	if cerr := fh.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("topofile: %w", cerr)
+	}
+	return err
 }

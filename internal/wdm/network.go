@@ -187,6 +187,13 @@ func (g *Network) bumpTopo() {
 	g.stateVersion++
 }
 
+// bumpState records a residual-state change (reservation or release). Every
+// mutating method must call bumpState or bumpTopo — the wdmlint versionbump
+// rule enforces it — or derived caches serve stale data.
+func (g *Network) bumpState() {
+	g.stateVersion++
+}
+
 // AddLink adds a directed link from → to carrying the given wavelengths at
 // the given per-wavelength costs and returns its ID. costs[i] is the cost of
 // wavelengths[i]; every cost must be non-negative and finite.
@@ -270,7 +277,7 @@ func (g *Network) Use(id int, lambda Wavelength) error {
 		return fmt.Errorf("wdm: λ%d already in use on link %d", lambda, id)
 	}
 	l.avail.Remove(lambda)
-	g.stateVersion++
+	g.bumpState()
 	return nil
 }
 
@@ -288,7 +295,7 @@ func (g *Network) Release(id int, lambda Wavelength) error {
 		return fmt.Errorf("wdm: λ%d not in use on link %d", lambda, id)
 	}
 	l.avail.Add(lambda)
-	g.stateVersion++
+	g.bumpState()
 	return nil
 }
 
@@ -361,7 +368,7 @@ func (g *Network) ResetAvailability() {
 	for _, l := range g.links {
 		l.avail.CopyFrom(l.lambda)
 	}
-	g.stateVersion++
+	g.bumpState()
 }
 
 // TotalAvailable returns the total count of available (link, wavelength)
@@ -377,7 +384,9 @@ func (g *Network) TotalAvailable() int {
 // SetSRLG assigns shared-risk link group IDs to a link. Links sharing any
 // group are assumed to fail together (same conduit, duct or span), so a
 // backup protecting against such risks must avoid every group of its
-// primary. Calling SetSRLG replaces the link's previous groups.
+// primary. Calling SetSRLG replaces the link's previous groups. It counts as
+// a structural change: risk groups alter which backups are legal, so cached
+// routing structures must not outlive it.
 func (g *Network) SetSRLG(id int, groups ...int) {
 	if g.srlg == nil {
 		g.srlg = make([][]int, len(g.links))
@@ -386,6 +395,7 @@ func (g *Network) SetSRLG(id int, groups ...int) {
 		g.srlg = append(g.srlg, nil)
 	}
 	g.srlg[id] = append([]int(nil), groups...)
+	g.bumpTopo()
 }
 
 // SRLGs returns the shared-risk groups of a link (nil when none assigned).
