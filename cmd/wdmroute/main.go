@@ -4,6 +4,11 @@
 //
 //	wdmroute -topo nsfnet -w 8 -s 0 -t 13 -algo min-load-cost
 //	wdmroute -topo waxman -n 30 -seed 7 -s 0 -t 29 -algo min-cost
+//
+// With -explain the request is routed through a traced router and the full
+// explain report is rendered instead: per-hop w(e,λ), per-node conversion
+// costs c_v(λp,λq), phase timings mapped to Theorem 1 terms, and the
+// Theorem 2 factor-2 bound check. -json emits the same report as JSON.
 package main
 
 import (
@@ -13,26 +18,28 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/wdm"
 )
 
-func route(algo string, net *wdm.Network, s, t int) (*core.Result, bool, error) {
+func route(r *core.Router, algo string, net *wdm.Network, s, t int) (*core.Result, bool, error) {
 	switch algo {
 	case "min-cost":
-		r, ok := core.ApproxMinCost(net, s, t, nil)
-		return r, ok, nil
+		res, ok := r.ApproxMinCost(net, s, t)
+		return res, ok, nil
 	case "min-load":
-		r, ok := core.MinLoad(net, s, t, nil)
-		return r, ok, nil
+		res, ok := r.MinLoad(net, s, t)
+		return res, ok, nil
 	case "min-load-cost":
-		r, ok := core.MinLoadCost(net, s, t, nil)
-		return r, ok, nil
+		res, ok := r.MinLoadCost(net, s, t)
+		return res, ok, nil
 	case "two-step":
-		r, ok := core.TwoStepMinCost(net, s, t, nil)
-		return r, ok, nil
+		res, ok := r.TwoStepMinCost(net, s, t)
+		return res, ok, nil
 	case "node-disjoint":
-		r, ok := core.ApproxMinCostNodeDisjoint(net, s, t, nil)
-		return r, ok, nil
+		res, ok := r.ApproxMinCostNodeDisjoint(net, s, t)
+		return res, ok, nil
 	}
 	return nil, false, fmt.Errorf("unknown algorithm %q (min-cost, min-load, min-load-cost, two-step, node-disjoint)", algo)
 }
@@ -46,6 +53,8 @@ func main() {
 	s := flag.Int("s", 0, "source node")
 	t := flag.Int("t", 13, "destination node")
 	algo := flag.String("algo", "min-cost", "routing algorithm")
+	explainFlag := flag.Bool("explain", false, "print the full route explanation (hops, conversions, phases, Theorem 2 bound)")
+	jsonFlag := flag.Bool("json", false, "with -explain, emit the report as JSON")
 	version := cli.VersionFlag()
 	flag.Parse()
 	cli.HandleVersion(*version)
@@ -61,7 +70,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "invalid request %d→%d on %d-node topology\n", *s, *t, net.Nodes())
 		os.Exit(1)
 	}
-	r, ok, err := route(*algo, net, *s, *t)
+
+	// A single request is cheap, so tracing is always on: the explain report
+	// is the trace payload, rendered with -explain and discarded otherwise.
+	tr := obs.New(obs.Config{Capacity: 1})
+	router := core.NewRouter(nil)
+	router.SetTracer(tr)
+	r, ok, err := route(router, *algo, net, *s, *t)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -70,6 +85,27 @@ func main() {
 		fmt.Printf("request %d→%d: no two edge-disjoint semilightpaths exist\n", *s, *t)
 		os.Exit(2)
 	}
+
+	if *explainFlag {
+		rep, okRep := payload(tr.Flight().Find(router.LastTraceID()))
+		if !okRep {
+			fmt.Fprintf(os.Stderr, "internal error: no explain report for request %d→%d\n", *s, *t)
+			os.Exit(1)
+		}
+		if *jsonFlag {
+			err = rep.WriteJSON(os.Stdout)
+		} else {
+			fmt.Printf("topology %s (n=%d, m=%d directed links, W=%d)\n",
+				*topoName, net.Nodes(), net.Links(), net.W())
+			err = rep.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("topology   %s (n=%d, m=%d directed links, W=%d)\n",
 		*topoName, net.Nodes(), net.Links(), net.W())
 	fmt.Printf("request    %d → %d via %s\n", *s, *t, *algo)
@@ -85,4 +121,12 @@ func main() {
 		fmt.Printf("  (MinCog threshold ϑ = %.4g after %d rounds)", r.Threshold, r.Iterations)
 	}
 	fmt.Println()
+}
+
+func payload(tc *obs.Trace) (*explain.Report, bool) {
+	if tc == nil {
+		return nil, false
+	}
+	rep, ok := tc.Payload.(*explain.Report)
+	return rep, ok
 }

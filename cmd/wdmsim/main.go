@@ -10,10 +10,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -37,6 +39,10 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file (.json → JSON, else Prometheus text)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (and /metrics) on this address, e.g. localhost:6060")
 	summaryOut := flag.String("summary-out", "", "write a structured JSON run summary (config + stats + metrics) to this file")
+	serveAddr := flag.String("serve", "", "serve the debug endpoints (/healthz, /metrics, /debug/flight, /debug/explain, /debug/pprof) on this address")
+	flightCap := flag.Int("flight", obs.DefaultCapacity, "flight-recorder capacity (last N request traces)")
+	flightOut := flag.String("flight-out", "", "dump the flight recorder as JSONL to this file at end of run")
+	linger := flag.Float64("linger", 0, "keep the -serve endpoints up this many seconds after the run (for probes)")
 	version := cli.VersionFlag()
 	flag.Parse()
 	cli.HandleVersion(*version)
@@ -44,7 +50,7 @@ func main() {
 	// Instrumentation is default-off; any observability flag switches the
 	// whole engine's metrics on.
 	var reg *metrics.Registry
-	if *metricsOut != "" || *pprofAddr != "" || *summaryOut != "" {
+	if *metricsOut != "" || *pprofAddr != "" || *summaryOut != "" || *serveAddr != "" {
 		reg = cli.EnableAllMetrics()
 	}
 	if *pprofAddr != "" {
@@ -54,6 +60,33 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "pprof + /metrics listening on http://%s\n", addr)
+	}
+
+	// Request tracing rides behind -serve or -flight-out: every routed
+	// request gets a trace, the last -flight N live in the ring. With
+	// -flight-out, the first non-OK request dumps the ring immediately, so a
+	// crash mid-run still leaves a capture; the end-of-run dump overwrites it
+	// with the final state.
+	var tracer *obs.Tracer
+	if *serveAddr != "" || *flightOut != "" {
+		cfg := obs.Config{Capacity: *flightCap}
+		if *flightOut != "" {
+			path := *flightOut
+			cfg.OnFailure = func(fr *obs.FlightRecorder, _ *obs.Trace) {
+				if err := fr.DumpFile(path); err != nil {
+					fmt.Fprintf(os.Stderr, "warning: first-failure flight dump: %v\n", err)
+				}
+			}
+		}
+		tracer = obs.New(cfg)
+	}
+	if *serveAddr != "" {
+		addr, err := cli.StartDebugServer(*serveAddr, reg, tracer.Flight())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoints listening on http://%s\n", addr)
 	}
 
 	net, err := cli.BuildTopology(*topoName, *n, *w, *seed)
@@ -80,6 +113,7 @@ func main() {
 		Seed:              *seed,
 		ReconfigThreshold: *reconfigTh,
 		ReconfigCooldown:  0.2,
+		Tracer:            tracer,
 	}
 	var traceRec *trace.JSONL
 	if *tracePath != "" {
@@ -145,11 +179,22 @@ func main() {
 	})
 	m := sim.Run(reqs)
 
+	// An incomplete event trace is data loss, not a warning: exit non-zero
+	// after the summary so scripts piping the trace into analysis fail loudly.
+	traceBroken := false
 	if traceRec != nil {
 		if err := traceRec.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "warning: trace file %s incomplete: %v\n", *tracePath, err)
+			fmt.Fprintf(os.Stderr, "error: trace file %s incomplete: %v\n", *tracePath, err)
+			traceBroken = true
 		} else if err := sim.TraceErr(); err != nil {
-			fmt.Fprintf(os.Stderr, "warning: trace file %s incomplete: %v\n", *tracePath, err)
+			fmt.Fprintf(os.Stderr, "error: trace file %s incomplete: %v\n", *tracePath, err)
+			traceBroken = true
+		}
+	}
+	if *flightOut != "" {
+		if err := tracer.Flight().DumpFile(*flightOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 
@@ -197,5 +242,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *serveAddr != "" && *linger > 0 {
+		// Keep the debug endpoints up so probes (CI smoke tests, manual
+		// curls) can inspect the finished run's flight recorder.
+		fmt.Fprintf(os.Stderr, "lingering %.3gs for debug probes\n", *linger)
+		time.Sleep(time.Duration(*linger * float64(time.Second)))
+	}
+	if traceBroken {
+		os.Exit(1)
 	}
 }

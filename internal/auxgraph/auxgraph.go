@@ -29,6 +29,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/wdm"
 )
 
@@ -43,6 +44,18 @@ const (
 	// LoadCost is G_rc of §4.2.
 	LoadCost
 )
+
+func (k Kind) String() string {
+	switch k {
+	case Cost:
+		return "cost"
+	case Load:
+		return "load"
+	case LoadCost:
+		return "load-cost"
+	}
+	return "unknown"
+}
 
 // DefaultBase is the default exponent base a for the Load weights. Any a > 1
 // realises the paper's heuristic; larger bases penalise loaded links more
@@ -69,6 +82,9 @@ type Params struct {
 	// under the §3.3 full-conversion assumption; with restricted converters
 	// the refinement step re-checks feasibility.
 	NodeDisjoint bool
+	// Trace, when non-nil, receives a "reweight" span per Reweight call with
+	// the variant, threshold and surviving-link count. Nil costs nothing.
+	Trace *obs.Trace
 }
 
 // Aux is a built auxiliary graph together with the bookkeeping needed to map
@@ -290,6 +306,7 @@ func (sk *Skeleton) Reweight(p Params) *Aux {
 		panic("auxgraph: exponent base must exceed 1")
 	}
 	defer instr.reweightTime.Stop(instr.reweightTime.Start())
+	sp := p.Trace.Begin("reweight")
 
 	net := sk.aux.net
 	g := sk.aux.G
@@ -392,6 +409,20 @@ func (sk *Skeleton) Reweight(p Params) *Aux {
 	gate(sk.termIn)
 
 	instr.reweights.Inc()
+	if p.Trace != nil {
+		kept := 0
+		for id := 0; id < sk.m; id++ {
+			if keep[id] {
+				kept++
+			}
+		}
+		p.Trace.SpanStr(sp, "kind", p.Kind.String())
+		if p.Kind == Load || p.Kind == LoadCost {
+			p.Trace.SpanFloat(sp, "threshold", p.Threshold)
+		}
+		p.Trace.SpanInt(sp, "kept_links", int64(kept))
+		p.Trace.EndSpan(sp)
+	}
 	return &sk.aux
 }
 

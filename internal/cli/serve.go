@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/explain"
+)
+
+// DebugMux builds the debug HTTP handler shared by wdmsim -serve and tests:
+//
+//	/healthz              liveness probe (200 "ok")
+//	/metrics              Prometheus text exposition of reg (404 if reg is nil)
+//	/debug/flight         flight-recorder dump as JSONL, oldest trace first
+//	/debug/explain/<id>   explain report for request <id> (JSON; ?format=text)
+//	/debug/pprof/*        the standard runtime profiles
+//
+// Unlike StartPprof this never touches http.DefaultServeMux, so several
+// servers (or tests) can coexist in one process.
+func DebugMux(reg *metrics.Registry, fr *obs.FlightRecorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if reg == nil {
+			http.Error(w, "metrics registry not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		if fr == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+			return
+		}
+		// Dump into a buffer first: once a partial body is on the wire the
+		// status code is committed, so encoding errors could no longer be
+		// reported to the client.
+		var buf bytes.Buffer
+		if err := fr.Dump(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = buf.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/explain/", func(w http.ResponseWriter, r *http.Request) {
+		if fr == nil {
+			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+			return
+		}
+		idStr := strings.TrimPrefix(r.URL.Path, "/debug/explain/")
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad request id %q", idStr), http.StatusBadRequest)
+			return
+		}
+		tc := fr.Find(id)
+		if tc == nil {
+			http.Error(w, fmt.Sprintf("request %d not in the flight recorder (evicted or never traced)", id), http.StatusNotFound)
+			return
+		}
+		rep, ok := tc.Payload.(*explain.Report)
+		if !ok {
+			http.Error(w, fmt.Sprintf("request %d has no explain report (status %s)", id, tc.Status), http.StatusNotFound)
+			return
+		}
+		var buf bytes.Buffer
+		if r.URL.Query().Get("format") == "text" {
+			err = rep.WriteText(&buf)
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		} else {
+			err = rep.WriteJSON(&buf)
+			w.Header().Set("Content-Type", "application/json")
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = buf.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer binds addr (e.g. "localhost:0"), serves DebugMux in a
+// background goroutine, and returns the bound address for log lines and CI
+// probes. The listener lives until the process exits.
+func StartDebugServer(addr string, reg *metrics.Registry, fr *obs.FlightRecorder) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, DebugMux(reg, fr)) }()
+	return ln.Addr().String(), nil
+}

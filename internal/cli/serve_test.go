@@ -1,0 +1,143 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/explain"
+	"repro/internal/topo"
+)
+
+// tracedRequest routes one request through a traced router and returns the
+// tracer plus the obs request ID of the resulting trace.
+func tracedRequest(t *testing.T) (*obs.Tracer, int64) {
+	t.Helper()
+	net := topo.NSFNET(topo.Config{W: 4})
+	tr := obs.New(obs.Config{Capacity: 16})
+	r := core.NewRouter(nil)
+	r.SetTracer(tr)
+	if _, ok := r.ApproxMinCost(net, 0, 9); !ok {
+		t.Fatal("ApproxMinCost failed on NSFNET")
+	}
+	id := r.LastTraceID()
+	if id < 1 {
+		t.Fatalf("LastTraceID = %d, want a positive request ID", id)
+	}
+	return tr, id
+}
+
+func get(t *testing.T, mux *http.ServeMux, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestDebugMuxHealthAndMetrics(t *testing.T) {
+	tr, _ := tracedRequest(t)
+	mux := DebugMux(metrics.NewRegistry(), tr.Flight())
+
+	if code, body := get(t, mux, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, mux, "/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+
+	// Without a registry or recorder the endpoints report absence rather
+	// than serving empty documents.
+	bare := DebugMux(nil, nil)
+	if code, _ := get(t, bare, "/metrics"); code != http.StatusNotFound {
+		t.Fatalf("/metrics with nil registry = %d, want 404", code)
+	}
+	if code, _ := get(t, bare, "/debug/flight"); code != http.StatusNotFound {
+		t.Fatalf("/debug/flight with nil recorder = %d, want 404", code)
+	}
+}
+
+func TestDebugMuxFlightDump(t *testing.T) {
+	tr, id := tracedRequest(t)
+	mux := DebugMux(nil, tr.Flight())
+
+	code, body := get(t, mux, "/debug/flight")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("dump has %d lines, want 1", len(lines))
+	}
+	var rec struct {
+		Req    int64  `json:"req"`
+		Kind   string `json:"kind"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("dump line is not JSON: %v", err)
+	}
+	if rec.Req != id || rec.Kind != "min-cost" || rec.Status != obs.StatusOK {
+		t.Fatalf("dump line = %+v, want req %d kind min-cost status ok", rec, id)
+	}
+}
+
+func TestDebugMuxExplain(t *testing.T) {
+	tr, id := tracedRequest(t)
+	mux := DebugMux(nil, tr.Flight())
+
+	code, body := get(t, mux, fmt.Sprintf("/debug/explain/%d", id))
+	if code != http.StatusOK {
+		t.Fatalf("/debug/explain/%d = %d: %s", id, code, body)
+	}
+	var rep explain.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("explain JSON: %v", err)
+	}
+	if rep.Req != id || rep.Algorithm != "min-cost" || len(rep.Primary.Hops) == 0 {
+		t.Fatalf("report = req %d algo %q hops %d", rep.Req, rep.Algorithm, len(rep.Primary.Hops))
+	}
+
+	code, body = get(t, mux, fmt.Sprintf("/debug/explain/%d?format=text", id))
+	if code != http.StatusOK || !strings.Contains(body, "min-cost") || !strings.Contains(body, "bound") {
+		t.Fatalf("text explain = %d %q", code, body)
+	}
+
+	if code, _ := get(t, mux, "/debug/explain/999999"); code != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", code)
+	}
+	if code, _ := get(t, mux, "/debug/explain/nope"); code != http.StatusBadRequest {
+		t.Fatalf("malformed id = %d, want 400", code)
+	}
+}
+
+func TestDebugMuxPprofIndex(t *testing.T) {
+	mux := DebugMux(nil, nil)
+	if code, body := get(t, mux, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestStartDebugServer(t *testing.T) {
+	tr, _ := tracedRequest(t)
+	addr, err := StartDebugServer("127.0.0.1:0", nil, tr.Flight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("GET /healthz over TCP = %d %q (%v)", resp.StatusCode, body, err)
+	}
+}

@@ -7,6 +7,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -42,5 +43,40 @@ func TestWarmRouterAllocBudget(t *testing.T) {
 	})
 	if allocs > minLoadAllocBudget {
 		t.Errorf("warm Router.MinLoad = %.0f allocs/op, budget %d", allocs, minLoadAllocBudget)
+	}
+}
+
+// TestTracerDisabledAddsNoAllocs pins the observability contract from PR 2's
+// zero-allocation work: a Router carrying a disabled tracer must allocate
+// exactly as much per request as a Router with no tracer at all — the off
+// switch is one atomic load, not a dormant code path that still builds
+// traces.
+func TestTracerDisabledAddsNoAllocs(t *testing.T) {
+	net := topo.NSFNET(topo.Config{W: 8})
+
+	plain := NewRouter(nil)
+	if _, ok := plain.ApproxMinCost(net, 0, 9); !ok {
+		t.Fatal("ApproxMinCost failed")
+	}
+	base := testing.AllocsPerRun(200, func() {
+		plain.ApproxMinCost(net, 0, 9)
+	})
+
+	traced := NewRouter(nil)
+	tr := obs.New(obs.Config{})
+	tr.Disable()
+	traced.SetTracer(tr)
+	if _, ok := traced.ApproxMinCost(net, 0, 9); !ok {
+		t.Fatal("ApproxMinCost failed")
+	}
+	withTracer := testing.AllocsPerRun(200, func() {
+		traced.ApproxMinCost(net, 0, 9)
+	})
+
+	if withTracer != base {
+		t.Errorf("disabled tracer changed allocs/op: %.0f with tracer vs %.0f without", withTracer, base)
+	}
+	if n := tr.Flight().Total(); n != 0 {
+		t.Errorf("disabled tracer recorded %d traces", n)
 	}
 }

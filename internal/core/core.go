@@ -23,6 +23,7 @@ import (
 	"repro/internal/auxgraph"
 	"repro/internal/disjoint"
 	"repro/internal/lightpath"
+	"repro/internal/obs"
 	"repro/internal/wdm"
 )
 
@@ -119,19 +120,22 @@ func firstFit(net *wdm.Network, route []int) (*wdm.Semilightpath, float64) {
 // ok is false when neither refinement nor first-fit yields a feasible
 // assignment for one of the routes (possible only with restricted
 // converters).
-func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *Options) (*Result, bool) {
+func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *Options, tc *obs.Trace) (*Result, bool) {
 	defer instr.phaseRefine.Stop(instr.phaseRefine.Start())
 	res := &Result{AuxWeight: pair.Weight}
 	paths := make([]*wdm.Semilightpath, 2)
 	naiveTotal := 0.0
 	for i, auxPath := range [][]int{pair.Path1, pair.Path2} {
+		sp := tc.Begin("refine") // one span per G_i (primary, then backup)
 		route := a.MapPath(auxPath)
 		if len(route) == 0 {
+			tc.EndSpan(sp)
 			return nil, false
 		}
 		naive, nc := firstFit(net, route)
 		naiveTotal += nc
 		refined, rc, okR := lightpath.AssignWavelengths(net, route)
+		fallback := false
 		switch {
 		case opts.noRefine() && naive != nil:
 			paths[i] = naive
@@ -143,8 +147,21 @@ func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *
 			paths[i] = naive
 			res.Cost += nc
 			instr.firstFitFallbacks.Inc()
+			fallback = true
 		default:
+			tc.EndSpan(sp)
 			return nil, false
+		}
+		if tc != nil {
+			tc.SpanInt(sp, "route_len", int64(len(route)))
+			if !math.IsInf(nc, 1) { // +Inf is unrepresentable in JSON dumps
+				tc.SpanFloat(sp, "naive_cost", nc)
+			}
+			if okR {
+				tc.SpanFloat(sp, "refined_cost", rc)
+			}
+			tc.SpanBool(sp, "fallback", fallback)
+			tc.EndSpan(sp)
 		}
 	}
 	res.NaiveCost = naiveTotal

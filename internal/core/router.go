@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/auxgraph"
 	"repro/internal/disjoint"
+	"repro/internal/obs"
+	"repro/internal/obs/explain"
 	"repro/internal/wdm"
 )
 
@@ -29,6 +31,9 @@ type Router struct {
 	net   *wdm.Network
 	ws    disjoint.Workspace
 	skels map[skelKey]*auxgraph.Skeleton
+
+	tracer  *obs.Tracer
+	lastReq int64 // request ID of the most recent traced call (-1 when untraced)
 }
 
 type skelKey struct {
@@ -38,13 +43,69 @@ type skelKey struct {
 
 // NewRouter returns a Router with the given options (nil for defaults).
 func NewRouter(opts *Options) *Router {
-	return &Router{opts: opts}
+	return &Router{opts: opts, lastReq: -1}
+}
+
+// SetTracer attaches a request tracer: every subsequent routing call opens a
+// trace, records its phases (skeleton build, reweight, Suurballe, Lemma 2
+// refinement, MinCog rounds) as spans, attaches an *explain.Report payload on
+// success, and lands in the tracer's flight recorder. A nil tracer — or a
+// disabled one — restores the zero-overhead path: every obs call below is
+// nil-safe, so tracing off costs one atomic load per request and zero
+// allocations (asserted by TestTracerDisabledAddsNoAllocs).
+func (r *Router) SetTracer(tr *obs.Tracer) { r.tracer = tr }
+
+// LastTraceID returns the request ID the most recent routing call traced, or
+// -1 if it was untraced (no tracer, or tracer disabled). Callers correlating
+// external records with flight-recorder dumps (e.g. the simulator's event
+// stream) read this right after the routing call.
+func (r *Router) LastTraceID() int64 { return r.lastReq }
+
+// begin opens the per-request trace and points the Suurballe workspace at it.
+func (r *Router) begin(kind string, s, t int) *obs.Trace {
+	tc := r.tracer.Start(kind, s, t)
+	r.lastReq = tc.ReqID()
+	r.ws.Trace = tc
+	return tc
+}
+
+// finish closes the request trace. On success it attaches the explain report
+// as the trace payload, so the debug endpoints re-render any retained request
+// without re-routing it. loadAux marks results whose AuxWeight is
+// congestion-based (G_c) and therefore not comparable to the Eq. 1 cost.
+func (r *Router) finish(tc *obs.Trace, net *wdm.Network, res *Result, ok, loadAux bool) {
+	r.ws.Trace = nil
+	if tc == nil {
+		return
+	}
+	if !ok {
+		tc.Finish(obs.StatusBlocked)
+		return
+	}
+	rep := explain.Build(net, explain.Input{
+		Req:        tc.Req,
+		Algorithm:  tc.Kind,
+		S:          tc.S,
+		T:          tc.T,
+		Primary:    res.Primary,
+		Backup:     res.Backup,
+		Cost:       res.Cost,
+		AuxWeight:  res.AuxWeight,
+		LoadAux:    loadAux,
+		NaiveCost:  res.NaiveCost,
+		Threshold:  res.Threshold,
+		Iterations: res.Iterations,
+		PathLoad:   res.PathLoad,
+	})
+	rep.AddPhases(tc)
+	tc.SetPayload(rep)
+	tc.Finish(obs.StatusOK)
 }
 
 // skeleton returns a valid cached skeleton for (s, t), building one on the
 // first request for the pair, after a rebind to a different network, or after
 // a structural network change.
-func (r *Router) skeleton(net *wdm.Network, s, t int, nodeDisjoint bool) *auxgraph.Skeleton {
+func (r *Router) skeleton(net *wdm.Network, s, t int, nodeDisjoint bool, tc *obs.Trace) *auxgraph.Skeleton {
 	if r.net != net {
 		r.net = net
 		clear(r.skels)
@@ -55,8 +116,13 @@ func (r *Router) skeleton(net *wdm.Network, s, t int, nodeDisjoint bool) *auxgra
 	k := skelKey{s: s, t: t, nodeDisjoint: nodeDisjoint}
 	sk := r.skels[k]
 	if sk == nil || !sk.Valid() {
+		sp := tc.Begin("skeleton-build")
 		sk = auxgraph.NewSkeleton(net, s, t, nodeDisjoint)
+		tc.EndSpan(sp)
+		tc.Str("skeleton", "build")
 		r.skels[k] = sk
+	} else {
+		tc.Str("skeleton", "cache-hit")
 	}
 	return sk
 }
@@ -64,19 +130,22 @@ func (r *Router) skeleton(net *wdm.Network, s, t int, nodeDisjoint bool) *auxgra
 // ApproxMinCost routes (s, t) per §3.3 — see the package-level ApproxMinCost.
 func (r *Router) ApproxMinCost(net *wdm.Network, s, t int) (*Result, bool) {
 	instr.routeCalls.Inc()
+	tc := r.begin("min-cost", s, t)
 	tb := instr.phaseBuild.Start()
-	a := r.skeleton(net, s, t, false).Reweight(auxgraph.Params{Kind: auxgraph.Cost})
+	a := r.skeleton(net, s, t, false, tc).Reweight(auxgraph.Params{Kind: auxgraph.Cost, Trace: tc})
 	instr.phaseBuild.Stop(tb)
 	td := instr.phaseDisjoint.Start()
 	pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
 	instr.phaseDisjoint.Stop(td)
 	if !ok {
+		r.finish(tc, net, nil, false, false)
 		return nil, false
 	}
-	res, ok := mapAndRefine(net, a, pair, r.opts)
+	res, ok := mapAndRefine(net, a, pair, r.opts, tc)
 	if ok {
 		instr.routeFound.Inc()
 	}
+	r.finish(tc, net, res, ok, false)
 	return res, ok
 }
 
@@ -84,25 +153,31 @@ func (r *Router) ApproxMinCost(net *wdm.Network, s, t int) (*Result, bool) {
 // pair — see the package-level ApproxMinCostNodeDisjoint.
 func (r *Router) ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int) (*Result, bool) {
 	instr.routeCalls.Inc()
+	tc := r.begin("min-cost-node-disjoint", s, t)
 	tb := instr.phaseBuild.Start()
-	a := r.skeleton(net, s, t, true).Reweight(auxgraph.Params{Kind: auxgraph.Cost, NodeDisjoint: true})
+	a := r.skeleton(net, s, t, true, tc).Reweight(auxgraph.Params{Kind: auxgraph.Cost, NodeDisjoint: true, Trace: tc})
 	instr.phaseBuild.Stop(tb)
 	td := instr.phaseDisjoint.Start()
 	pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
 	instr.phaseDisjoint.Stop(td)
 	if !ok {
+		r.finish(tc, net, nil, false, false)
 		return nil, false
 	}
-	res, ok := mapAndRefine(net, a, pair, r.opts)
+	res, ok := mapAndRefine(net, a, pair, r.opts, tc)
 	if !ok {
+		r.finish(tc, net, nil, false, false)
 		return nil, false
 	}
 	// Defensive: the hub gadget guarantees this, so a violation would be a
 	// construction bug.
 	if !nodesDisjoint(net, res.Primary, res.Backup, s, t) {
+		r.ws.Trace = nil
+		tc.Finish(obs.StatusError)
 		return nil, false
 	}
 	instr.routeFound.Inc()
+	r.finish(tc, net, res, true, false)
 	return res, true
 }
 
@@ -112,16 +187,23 @@ func (r *Router) ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int) (*Result,
 // building a fresh auxiliary graph, so a k-round search costs one structure
 // build plus k cheap weight passes. The returned pair aliases the router's
 // Suurballe workspace and must be consumed before the next routing call.
-func (r *Router) minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind) (theta float64, aOut *auxgraph.Aux, pairOut *disjoint.Pair, iters int, ok bool) {
+func (r *Router) minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, tc *obs.Trace) (theta float64, aOut *auxgraph.Aux, pairOut *disjoint.Pair, iters int, ok bool) {
 	defer instr.phaseMinCog.Stop(instr.phaseMinCog.Start())
 	defer func() { instr.mincogIters.Observe(float64(iters)) }()
+	sp := tc.Begin("mincog")
+	defer func() {
+		tc.SpanInt(sp, "iters", int64(iters))
+		tc.SpanFloat(sp, "theta", theta)
+		tc.SpanBool(sp, "found", ok)
+		tc.EndSpan(sp)
+	}()
 	lo, hi, any := thetaBounds(net)
 	if !any {
 		return 0, nil, nil, 0, false
 	}
-	sk := r.skeleton(net, s, t, false)
+	sk := r.skeleton(net, s, t, false, tc)
 	try := func(theta float64) (*auxgraph.Aux, *disjoint.Pair, bool) {
-		a := sk.Reweight(auxgraph.Params{Kind: kind, Threshold: theta, Base: r.opts.base()})
+		a := sk.Reweight(auxgraph.Params{Kind: kind, Threshold: theta, Base: r.opts.base(), Trace: tc})
 		pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
 		return a, pair, ok
 	}
@@ -162,30 +244,36 @@ func (r *Router) minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind) (t
 // MinLoad routes (s, t) per §4.1 — see the package-level MinLoad.
 func (r *Router) MinLoad(net *wdm.Network, s, t int) (*Result, bool) {
 	instr.routeCalls.Inc()
-	theta, a, pair, iters, ok := r.minCogSearch(net, s, t, auxgraph.Load)
+	tc := r.begin("min-load", s, t)
+	theta, a, pair, iters, ok := r.minCogSearch(net, s, t, auxgraph.Load, tc)
 	if !ok {
+		r.finish(tc, net, nil, false, true)
 		return nil, false
 	}
-	res, ok := mapAndRefine(net, a, pair, r.opts)
+	res, ok := mapAndRefine(net, a, pair, r.opts, tc)
 	if !ok {
+		r.finish(tc, net, nil, false, true)
 		return nil, false
 	}
 	res.Threshold = theta
 	res.Iterations = iters
 	instr.routeFound.Inc()
+	r.finish(tc, net, res, true, true)
 	return res, true
 }
 
 // MinLoadCost routes (s, t) per §4.2 — see the package-level MinLoadCost.
 func (r *Router) MinLoadCost(net *wdm.Network, s, t int) (*Result, bool) {
 	instr.routeCalls.Inc()
-	theta, _, _, iters, ok := r.minCogSearch(net, s, t, auxgraph.Load)
+	tc := r.begin("min-load-cost", s, t)
+	theta, _, _, iters, ok := r.minCogSearch(net, s, t, auxgraph.Load, tc)
 	if !ok {
+		r.finish(tc, net, nil, false, false)
 		return nil, false
 	}
-	sk := r.skeleton(net, s, t, false)
+	sk := r.skeleton(net, s, t, false, tc)
 	tb := instr.phaseBuild.Start()
-	a := sk.Reweight(auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: theta, Base: r.opts.base()})
+	a := sk.Reweight(auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: theta, Base: r.opts.base(), Trace: tc})
 	instr.phaseBuild.Stop(tb)
 	td := instr.phaseDisjoint.Start()
 	pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
@@ -193,33 +281,42 @@ func (r *Router) MinLoadCost(net *wdm.Network, s, t int) (*Result, bool) {
 	if !ok {
 		// ϑ was certified feasible on the identical G_c skeleton; reaching
 		// here means numerics only. Fall back to the full residual graph.
-		a = sk.Reweight(auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: math.Inf(1)})
+		a = sk.Reweight(auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: math.Inf(1), Trace: tc})
 		pair, ok = r.ws.Suurballe(a.G, a.S, a.T)
 		if !ok {
+			r.finish(tc, net, nil, false, false)
 			return nil, false
 		}
 	}
-	res, ok := mapAndRefine(net, a, pair, r.opts)
+	res, ok := mapAndRefine(net, a, pair, r.opts, tc)
 	if !ok {
+		r.finish(tc, net, nil, false, false)
 		return nil, false
 	}
 	res.Threshold = theta
 	res.Iterations = iters
 	instr.routeFound.Inc()
+	// The final pair comes from G_rc, whose ω is cost-weighted, so the
+	// Lemma 2 bound applies (unlike MinLoad's congestion-weighted ω).
+	r.finish(tc, net, res, true, false)
 	return res, true
 }
 
 // TwoStepMinCost is the naive baseline — see the package-level TwoStepMinCost.
-// It uses no auxiliary graph, so the Router adds nothing beyond a uniform
-// call surface.
+// It uses no auxiliary graph, so the Router adds only the uniform call
+// surface and the request trace (no phase spans, no aux pair to audit).
 func (r *Router) TwoStepMinCost(net *wdm.Network, s, t int) (*Result, bool) {
-	return TwoStepMinCost(net, s, t, r.opts)
+	tc := r.begin("two-step", s, t)
+	res, ok := TwoStepMinCost(net, s, t, r.opts)
+	r.finish(tc, net, res, ok, false)
+	return res, ok
 }
 
 // OptimalLoadOracle computes the exact minimum achievable path load — see the
 // package-level OptimalLoadOracle. Each candidate cap reweights the same
 // cached skeleton.
 func (r *Router) OptimalLoadOracle(net *wdm.Network, s, t int) (float64, bool) {
+	r.ws.Trace = nil // oracle probes are not request-scoped; never trace them
 	ratios := map[float64]bool{}
 	for id := 0; id < net.Links(); id++ {
 		l := net.Link(id)
@@ -236,7 +333,7 @@ func (r *Router) OptimalLoadOracle(net *wdm.Network, s, t int) (float64, bool) {
 		cands = append(cands, r)
 	}
 	sort.Float64s(cands)
-	sk := r.skeleton(net, s, t, false)
+	sk := r.skeleton(net, s, t, false, nil)
 	for _, c := range cands {
 		// Exact filter: keep exactly the links whose post-routing ratio
 		// (U+1)/N stays within the candidate cap.

@@ -2,6 +2,7 @@ package disjoint
 
 import (
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Workspace owns all scratch state of a Suurballe computation — the two
@@ -32,6 +33,11 @@ type Workspace struct {
 
 	path1, path2 []int
 	pair         Pair
+
+	// Trace, when non-nil, receives a "suurballe" span per call with the
+	// search-effort attributes (relaxations, heap operations, path lengths).
+	// All obs calls are nil-safe, so leaving it nil costs nothing.
+	Trace *obs.Trace
 }
 
 // NewWorkspace returns an empty workspace. Equivalent to &Workspace{}.
@@ -46,16 +52,23 @@ func (ws *Workspace) Suurballe(g *graph.Graph, s, t int) (*Pair, bool) {
 	}
 	instr.calls.Inc()
 	defer instr.time.Stop(instr.time.Start())
+	sp := ws.Trace.Begin("suurballe")
 	// Pass 1: shortest-path distances for the potentials.
 	g.DijkstraInto(&ws.d1, s)
 	instr.relaxations.Add(ws.d1.Relaxations())
 	instr.heapOps.Add(ws.d1.HeapOps())
+	ws.Trace.SpanInt(sp, "relax1", int64(ws.d1.Relaxations()))
+	ws.Trace.SpanInt(sp, "heap1", int64(ws.d1.HeapOps()))
 	if !ws.d1.Reached(t) {
+		ws.Trace.SpanBool(sp, "found", false)
+		ws.Trace.EndSpan(sp)
 		return nil, false
 	}
 	var ok bool
 	ws.p1, ok = ws.d1.AppendPathTo(ws.p1[:0], t, g)
 	if !ok {
+		ws.Trace.SpanBool(sp, "found", false)
+		ws.Trace.EndSpan(sp)
 		return nil, false
 	}
 
@@ -95,18 +108,29 @@ func (ws *Workspace) Suurballe(g *graph.Graph, s, t int) (*Pair, bool) {
 	h.DijkstraInto(&ws.d2, s)
 	instr.relaxations.Add(ws.d2.Relaxations())
 	instr.heapOps.Add(ws.d2.HeapOps())
+	ws.Trace.SpanInt(sp, "relax2", int64(ws.d2.Relaxations()))
+	ws.Trace.SpanInt(sp, "heap2", int64(ws.d2.HeapOps()))
 	if !ws.d2.Reached(t) {
+		ws.Trace.SpanBool(sp, "found", false)
+		ws.Trace.EndSpan(sp)
 		return nil, false
 	}
 	ws.q, ok = ws.d2.AppendPathTo(ws.q[:0], t, h)
 	if !ok {
+		ws.Trace.SpanBool(sp, "found", false)
+		ws.Trace.EndSpan(sp)
 		return nil, false
 	}
 
 	pair, ok := ws.combine(g, s, t)
 	if ok {
 		instr.found.Inc()
+		ws.Trace.SpanInt(sp, "len1", int64(len(pair.Path1)))
+		ws.Trace.SpanInt(sp, "len2", int64(len(pair.Path2)))
+		ws.Trace.SpanFloat(sp, "weight", pair.Weight)
 	}
+	ws.Trace.SpanBool(sp, "found", ok)
+	ws.Trace.EndSpan(sp)
 	return pair, ok
 }
 

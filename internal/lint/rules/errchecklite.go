@@ -30,6 +30,10 @@ var ecMethodRules = []struct {
 	{"topofile", "Encode"},
 	{"workload", "Encode"},
 	{"check", "Encode"},
+	// A partial flight-recorder dump is silent loss of the very traces a
+	// post-mortem needs.
+	{"obs", "Dump"},
+	{"obs", "DumpFile"},
 }
 
 func runErrCheckLite(p *lint.Pass) {

@@ -3,8 +3,10 @@
 package app
 
 import (
+	"io"
 	"os"
 
+	"fix/errcheck/obs"
 	"fix/errcheck/trace"
 )
 
@@ -65,4 +67,21 @@ func Shutdown(r *trace.Recorder) {
 // rejected and the finding stays.
 func BadDirective(r *trace.Recorder) {
 	r.Flush() //wdmlint:ignore errcheck-lite
+}
+
+// DropDump discards the flight-recorder dump error: finding.
+func DropDump(f *obs.Flight, w io.Writer) {
+	f.Add(1)
+	f.Dump(w)
+}
+
+// DropDumpFile discards the dump-to-file error in a goroutine: finding.
+func DropDumpFile(f *obs.Flight) {
+	go f.DumpFile("/tmp/flight.jsonl")
+}
+
+// CheckedDump propagates the dump error: clean.
+func CheckedDump(f *obs.Flight, w io.Writer) error {
+	f.Add(2)
+	return f.Dump(w)
 }

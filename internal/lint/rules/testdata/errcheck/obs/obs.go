@@ -1,0 +1,20 @@
+// Package obs is a fixture flight recorder whose Dump and DumpFile surface
+// encoding and write errors; dropping them loses the retained traces silently.
+package obs
+
+import "io"
+
+// Flight retains recent traces.
+type Flight struct{ n int }
+
+// Add retains one trace.
+func (f *Flight) Add(v int) { f.n++ }
+
+// Dump writes the retained traces as JSONL.
+func (f *Flight) Dump(w io.Writer) error {
+	_, err := w.Write([]byte("{}\n"))
+	return err
+}
+
+// DumpFile writes the retained traces to path.
+func (f *Flight) DumpFile(path string) error { return nil }

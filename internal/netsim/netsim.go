@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lightpath"
+	"repro/internal/obs"
 	"repro/internal/pq"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -130,6 +131,12 @@ type Config struct {
 	// analysis. See package trace.
 	Trace trace.Recorder
 
+	// Tracer, when non-nil, records a request-scoped obs trace for every
+	// routed arrival (and reconfiguration reroute) into its flight recorder;
+	// connection events in the Trace stream then carry the matching obs
+	// request ID in their Req field, so the two JSONL outputs join on it.
+	Tracer *obs.Tracer
+
 	// Reprotect, under Active restoration, re-establishes a fresh backup
 	// after a switchover or a degraded backup, so connections do not stay
 	// unprotected until departure (a variant the paper's §1 survey calls
@@ -195,6 +202,7 @@ func (m *Metrics) MeanLoad() float64 {
 type conn struct {
 	id      int
 	s, d    int
+	req     int64 // obs request ID that admitted it (-1 when untraced)
 	primary *wdm.Semilightpath
 	backup  *wdm.Semilightpath // nil under Passive or after a switchover
 	arrived float64
@@ -248,11 +256,13 @@ func New(net *wdm.Network, cfg Config) *Sim {
 	if cfg.ReconfigCooldown == 0 {
 		cfg.ReconfigCooldown = 1
 	}
+	router := core.NewRouter(cfg.Opts)
+	router.SetTracer(cfg.Tracer)
 	return &Sim{
 		net:          net.Clone(),
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
-		router:       core.NewRouter(cfg.Opts),
+		router:       router,
 		q:            pq.NewPairingHeap(),
 		conns:        map[int]*conn{},
 		down:         make([]bool, net.Links()),
@@ -270,13 +280,14 @@ func (s *Sim) push(e event) {
 	s.q.Push(len(s.events)-1, e.time)
 }
 
-// emit records a trace event when tracing is enabled. Trace failures never
-// abort the simulation; the first one is kept and reported via TraceErr.
-func (s *Sim) emit(kind trace.Kind, connID, link int, detail string) {
+// emit records a trace event when tracing is enabled. req is the obs request
+// ID the event correlates with (-1 for none). Trace failures never abort the
+// simulation; the first one is kept and reported via TraceErr.
+func (s *Sim) emit(kind trace.Kind, connID, link int, req int64, detail string) {
 	if s.cfg.Trace == nil {
 		return
 	}
-	err := s.cfg.Trace.Record(trace.Event{Time: s.lastT, Kind: kind, Conn: connID, Link: link, Detail: detail})
+	err := s.cfg.Trace.Record(trace.Event{Time: s.lastT, Kind: kind, Conn: connID, Link: link, Req: int(req), Detail: detail})
 	if err != nil && s.traceErr == nil {
 		s.traceErr = err
 	}
@@ -350,11 +361,14 @@ func (s *Sim) handleArrival(r workload.Request) {
 	if measured {
 		s.m.Offered++
 	}
-	s.emit(trace.Arrival, r.ID, -1, fmt.Sprintf("%d->%d", r.Src, r.Dst))
-	c := &conn{id: r.ID, s: r.Src, d: r.Dst}
+	// The request is routed before its arrival event is emitted, so the
+	// arrival already carries the obs request ID; emission order (arrival,
+	// then accept/block, at the same timestamp) is unchanged.
+	c := &conn{id: r.ID, s: r.Src, d: r.Dst, req: -1}
 	switch s.cfg.Restoration {
 	case Active:
 		route := s.cfg.RouteFunc
+		viaRouter := route == nil
 		if route == nil {
 			route = func(net *wdm.Network, a, b int) (*core.Result, bool) {
 				return s.cfg.Algorithm.routeWith(s.router, net, a, b)
@@ -363,12 +377,16 @@ func (s *Sim) handleArrival(r workload.Request) {
 		rt := instr.routeTime.Start()
 		res, ok := route(s.net, r.Src, r.Dst)
 		instr.routeTime.Stop(rt)
+		if viaRouter {
+			c.req = s.router.LastTraceID()
+		}
+		s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
 		if !ok || core.Establish(s.net, res) != nil {
 			if measured {
 				s.m.Blocked++
 			}
 			instr.blocked.Inc()
-			s.emit(trace.Block, r.ID, -1, "")
+			s.emit(trace.Block, r.ID, -1, c.req, "")
 			return
 		}
 		c.primary, c.backup = res.Primary, res.Backup
@@ -376,24 +394,31 @@ func (s *Sim) handleArrival(r workload.Request) {
 			s.m.Cost.Add(res.Cost)
 			s.m.PathLoad.Add(res.PathLoad)
 		}
-		s.emit(trace.Accept, r.ID, -1, fmt.Sprintf("cost=%.4g", res.Cost))
+		s.emit(trace.Accept, r.ID, -1, c.req, fmt.Sprintf("cost=%.4g", res.Cost))
 	case Passive:
+		tc := s.cfg.Tracer.Start("passive-optimal", r.Src, r.Dst)
+		c.req = tc.ReqID()
 		rt := instr.routeTime.Start()
 		p, cost, ok := lightpath.Optimal(s.net, r.Src, r.Dst, nil)
 		instr.routeTime.Stop(rt)
+		s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
 		if !ok || s.net.Reserve(p) != nil {
 			if measured {
 				s.m.Blocked++
 			}
 			instr.blocked.Inc()
-			s.emit(trace.Block, r.ID, -1, "")
+			tc.Finish(obs.StatusBlocked)
+			s.emit(trace.Block, r.ID, -1, c.req, "")
 			return
 		}
 		c.primary = p
 		if measured {
 			s.m.Cost.Add(cost)
 		}
-		s.emit(trace.Accept, r.ID, -1, fmt.Sprintf("cost=%.4g", cost))
+		tc.Float("cost", cost)
+		tc.Int("hops", int64(p.Len()))
+		tc.Finish(obs.StatusOK)
+		s.emit(trace.Accept, r.ID, -1, c.req, fmt.Sprintf("cost=%.4g", cost))
 	}
 	instr.established.Inc()
 	if measured {
@@ -415,7 +440,7 @@ func (s *Sim) handleDeparture(id int) {
 	}
 	delete(s.conns, id)
 	instr.teardowns.Inc()
-	s.emit(trace.Depart, id, -1, "")
+	s.emit(trace.Depart, id, -1, c.req, "")
 	s.m.Availability.Add(1)
 	s.releasePath(c.primary)
 	if c.backup != nil {
@@ -467,7 +492,7 @@ func (s *Sim) handleFailure() {
 	}
 	s.m.FailureEvents++
 	instr.failures.Inc()
-	s.emit(trace.Failure, -1, link, "")
+	s.emit(trace.Failure, -1, link, -1, "")
 	s.down[link] = true
 	// Quarantine the link: lock all still-available wavelengths.
 	l := s.net.Link(link)
@@ -523,7 +548,7 @@ func (s *Sim) reprotect(c *conn) {
 	}
 	c.backup = p
 	s.m.ReprotectOK++
-	s.emit(trace.Reprotect, c.id, -1, "")
+	s.emit(trace.Reprotect, c.id, -1, c.req, "")
 }
 
 // restore recovers a connection whose primary crossed the failed link.
@@ -545,7 +570,7 @@ func (s *Sim) restore(c *conn, failedLink int) {
 		s.m.Recovered++
 		instr.restored.Inc()
 		s.m.RecoveryWork.Add(0)
-		s.emit(trace.Switchover, c.id, failedLink, "")
+		s.emit(trace.Switchover, c.id, failedLink, c.req, "")
 		s.reprotect(c)
 		return
 	}
@@ -559,7 +584,7 @@ func (s *Sim) restore(c *conn, failedLink int) {
 	s.m.Recovered++
 	instr.restored.Inc()
 	s.m.RecoveryWork.Add(float64(p.Len()))
-	s.emit(trace.Reroute, c.id, failedLink, "passive-restore")
+	s.emit(trace.Reroute, c.id, failedLink, c.req, "passive-restore")
 }
 
 func (s *Sim) dropConn(c *conn) {
@@ -576,11 +601,11 @@ func (s *Sim) dropConn(c *conn) {
 		}
 		s.m.Availability.Add(served)
 	}
-	s.emit(trace.Drop, c.id, -1, "")
+	s.emit(trace.Drop, c.id, -1, c.req, "")
 }
 
 func (s *Sim) handleRepair(link int) {
-	s.emit(trace.Repair, -1, link, "")
+	s.emit(trace.Repair, -1, link, -1, "")
 	s.down[link] = false
 	for _, lam := range s.forced[link] {
 		if err := s.net.Release(link, lam); err != nil {
@@ -615,7 +640,7 @@ func (s *Sim) maybeReconfigure(t float64) {
 	s.lastReconfig = t
 	s.m.Reconfigs++
 	instr.reconfigs.Inc()
-	s.emit(trace.Reconfig, -1, -1, fmt.Sprintf("rho=%.3f", rho))
+	s.emit(trace.Reconfig, -1, -1, -1, fmt.Sprintf("rho=%.3f", rho))
 	// Most loaded link.
 	worst, rho := -1, -1.0
 	for id := 0; id < s.net.Links(); id++ {
@@ -647,8 +672,9 @@ func (s *Sim) maybeReconfigure(t float64) {
 		res, ok := s.router.MinLoad(s.net, c.s, c.d)
 		if ok && core.Establish(s.net, res) == nil {
 			c.primary, c.backup = res.Primary, res.Backup
+			c.req = s.router.LastTraceID() // the connection now rides this trace's pair
 			s.m.ReroutedConns++
-			s.emit(trace.Reroute, c.id, worst, "reconfig")
+			s.emit(trace.Reroute, c.id, worst, c.req, "reconfig")
 			continue
 		}
 		// Reroute failed: put the old paths back (nothing else touched the

@@ -384,7 +384,7 @@ func TestEmitNilRecorderSafe(t *testing.T) {
 		FailureRate: 1, RepairTime: 2, Seed: 5,
 		ReconfigThreshold: 0.5, ReconfigCooldown: 0.2,
 	})
-	sim.emit(trace.Arrival, 1, -1, "direct call") // the guard itself
+	sim.emit(trace.Arrival, 1, -1, -1, "direct call") // the guard itself
 	m := sim.Run(poisson(14, 200, 25, 11))
 	if m.Offered != 200 {
 		t.Fatalf("offered = %d", m.Offered)

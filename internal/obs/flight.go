@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultCapacity is the flight-recorder ring size when Config.Capacity is 0.
+const DefaultCapacity = 256
+
+// FlightRecorder is a fixed-size ring of finished request traces: the last
+// N requests are always available for a dump, like an aircraft flight
+// recorder. Add/Snapshot/Find/Dump are safe for concurrent use; the traces
+// themselves are immutable after Finish, so dumping never blocks recording
+// for longer than the ring copy.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []*Trace // ring storage, len == capacity
+	next  int      // next write position
+	total int64    // traces ever added
+}
+
+// NewFlightRecorder returns a recorder retaining the last capacity traces
+// (DefaultCapacity if capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &FlightRecorder{buf: make([]*Trace, capacity)}
+}
+
+// Add appends a finished trace, evicting the oldest when full. No-op on nil.
+func (f *FlightRecorder) Add(t *Trace) {
+	if f == nil || t == nil {
+		return
+	}
+	f.mu.Lock()
+	f.buf[f.next] = t
+	f.next = (f.next + 1) % len(f.buf)
+	f.total++
+	f.mu.Unlock()
+}
+
+// Len returns the number of retained traces (≤ capacity).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.total < int64(len(f.buf)) {
+		return int(f.total)
+	}
+	return len(f.buf)
+}
+
+// Total returns the number of traces ever recorded, including evicted ones.
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Snapshot returns the retained traces, oldest first.
+func (f *FlightRecorder) Snapshot() []*Trace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.buf)
+	out := make([]*Trace, 0, n)
+	start := f.next // oldest slot once the ring has wrapped
+	if f.total < int64(n) {
+		start = 0
+	}
+	for i := 0; i < n; i++ {
+		if t := f.buf[(start+i)%n]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Find returns the retained trace with the given request ID, or nil.
+func (f *FlightRecorder) Find(req int64) *Trace {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, t := range f.buf {
+		if t != nil && t.Req == req {
+			return t
+		}
+	}
+	return nil
+}
+
+// traceJSON is the JSONL wire form of one trace. Attributes render as maps
+// so a dump joins naturally against other JSONL streams (the simulator
+// event log keys the same request IDs in its "req" field).
+type traceJSON struct {
+	Req     int64          `json:"req"`
+	Kind    string         `json:"kind"`
+	S       int            `json:"s"`
+	T       int            `json:"t"`
+	Start   time.Time      `json:"start"`
+	DurSec  float64        `json:"dur_s"`
+	Status  string         `json:"status"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Spans   []spanJSON     `json:"spans,omitempty"`
+	Payload any            `json:"payload,omitempty"`
+}
+
+type spanJSON struct {
+	Name   string         `json:"name"`
+	T0Sec  float64        `json:"t0_s"`
+	DurSec float64        `json:"dur_s"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// wire projects a trace into its JSONL form.
+func wire(t *Trace) traceJSON {
+	j := traceJSON{
+		Req:     t.Req,
+		Kind:    t.Kind,
+		S:       t.S,
+		T:       t.T,
+		Start:   t.Start,
+		DurSec:  t.End.Sub(t.Start).Seconds(),
+		Status:  t.Status,
+		Attrs:   attrMap(t.Attrs),
+		Payload: t.Payload,
+	}
+	for i := range t.Spans {
+		sp := &t.Spans[i]
+		j.Spans = append(j.Spans, spanJSON{
+			Name:   sp.Name,
+			T0Sec:  sp.T0.Seconds(),
+			DurSec: sp.Dur().Seconds(),
+			Attrs:  attrMap(sp.Attrs),
+		})
+	}
+	return j
+}
+
+// Dump writes the retained traces as JSONL, oldest first. The snapshot is
+// taken once up front, so a dump is consistent even while requests keep
+// landing. The error must be checked: a partial dump is silent data loss
+// (wdmlint errcheck-lite enforces this).
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range f.Snapshot() {
+		if err := enc.Encode(wire(t)); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}
+
+// DumpFile writes the retained traces as JSONL to path (truncating it).
+func (f *FlightRecorder) DumpFile(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	err = f.Dump(fh)
+	if cerr := fh.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("obs: %w", cerr)
+	}
+	return err
+}

@@ -1,0 +1,303 @@
+// Package obs is the request-scoped tracing layer of the routing engine: a
+// span tracer that records what one (s, t) request actually did — which
+// auxiliary-graph reweights ran, whether the skeleton cache hit, how hard
+// Suurballe searched, which G_i the Lemma 2 refinement walked — plus a
+// fixed-size flight recorder that retains the last N request traces for
+// post-hoc dumps.
+//
+// Where package metrics answers "how is the engine doing in aggregate",
+// package obs answers "why did request #1374 get an expensive pair". The
+// same two properties that make metrics safe in hot paths hold here:
+//
+//   - Nil safety: every method on a nil *Tracer and a nil *Trace is a no-op,
+//     so instrumented code calls unconditionally. A disabled tracer hands
+//     out nil traces, which means tracing off costs exactly one atomic load
+//     per request and zero allocations (asserted by the regression test in
+//     internal/core).
+//   - Concurrency: the flight recorder is safe for concurrent Add/Dump/Find
+//     (a debug HTTP handler dumps while the simulator records). A *Trace
+//     itself is single-goroutine like the Router that writes it, and must
+//     not be mutated after Finish.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Statuses a request trace can finish with.
+const (
+	StatusOK      = "ok"      // a disjoint pair was found and mapped
+	StatusBlocked = "blocked" // no feasible pair (request blocked/dropped)
+	StatusError   = "error"   // internal failure (defensive paths)
+)
+
+// Config parameterises a Tracer.
+type Config struct {
+	// Capacity is the flight-recorder ring size (DefaultCapacity if 0).
+	Capacity int
+	// OnFailure, when non-nil, runs once — on the first trace that finishes
+	// with a status other than StatusOK — with the recorder holding that
+	// trace. Typical use: dump the ring to a file so the window around the
+	// first blocked request survives even if the process dies later.
+	OnFailure func(*FlightRecorder, *Trace)
+}
+
+// Tracer hands out request traces. A nil *Tracer is permanently off; a
+// non-nil one can be toggled at runtime (Enable/Disable) and starts enabled.
+type Tracer struct {
+	enabled atomic.Bool
+	reqID   atomic.Int64
+	fr      *FlightRecorder
+
+	failureOnce sync.Once
+	onFailure   func(*FlightRecorder, *Trace)
+}
+
+// New returns an enabled Tracer with a flight recorder of cfg.Capacity.
+func New(cfg Config) *Tracer {
+	t := &Tracer{
+		fr:        NewFlightRecorder(cfg.Capacity),
+		onFailure: cfg.OnFailure,
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enable turns the tracer on. No-op on nil.
+func (t *Tracer) Enable() {
+	if t != nil {
+		t.enabled.Store(true)
+	}
+}
+
+// Disable turns the tracer off: Start returns nil until Enable. Traces
+// already started continue to record and land in the flight recorder.
+func (t *Tracer) Disable() {
+	if t != nil {
+		t.enabled.Store(false)
+	}
+}
+
+// Enabled reports whether Start currently hands out traces.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Flight returns the tracer's flight recorder (nil for a nil tracer).
+func (t *Tracer) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.fr
+}
+
+// Start opens a trace for one routing request with a fresh monotonic ID
+// (IDs start at 1; 0 is never issued, so a zero Req field in correlated
+// logs is distinguishable from the first request). Returns nil — and
+// performs no allocation — when the tracer is nil or disabled. The caller
+// must Finish the trace to land it in the flight recorder.
+func (t *Tracer) Start(kind string, s, d int) *Trace {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	return &Trace{
+		Req:   t.reqID.Add(1),
+		Kind:  kind,
+		S:     s,
+		T:     d,
+		Start: time.Now(),
+		tr:    t,
+	}
+}
+
+// LastID returns the most recently issued request ID (0 before the first).
+func (t *Tracer) LastID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.reqID.Load()
+}
+
+// AttrKind tags which field of an Attr carries the value.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	AttrInt AttrKind = iota
+	AttrFloat
+	AttrStr
+	AttrBool
+)
+
+// Attr is one typed key/value attribute on a span or a trace. Exactly one
+// of I/F/S is meaningful, selected by Kind (AttrBool stores 0/1 in I).
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Value returns the attribute's value as an any (for JSON rendering).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case AttrFloat:
+		return a.F
+	case AttrStr:
+		return a.S
+	case AttrBool:
+		return a.I != 0
+	}
+	return a.I
+}
+
+// Span is one timed phase inside a request trace. T0/T1 are offsets from
+// the trace start; T1 < 0 marks a span that was never ended.
+type Span struct {
+	Name   string
+	T0, T1 time.Duration
+	Attrs  []Attr
+}
+
+// Dur returns the span duration (0 for an unfinished span).
+func (s *Span) Dur() time.Duration {
+	if s.T1 < 0 {
+		return 0
+	}
+	return s.T1 - s.T0
+}
+
+// Trace is the record of one routing request. Fields are exported for
+// encoding; writers use the methods. All methods are no-ops on nil, so
+// instrumented code never branches.
+type Trace struct {
+	Req    int64
+	Kind   string // algorithm, e.g. "min-cost"
+	S, T   int
+	Start  time.Time
+	End    time.Time // set by Finish
+	Status string    // set by Finish
+	Spans  []Span
+	Attrs  []Attr
+
+	// Payload carries an optional structured result attached by the
+	// producer — the router stores the *explain.Report here so the debug
+	// endpoints can re-render a request without re-routing it.
+	Payload any
+
+	tr *Tracer
+}
+
+// ReqID returns the trace's request ID, or -1 for a nil trace — the
+// "absent" convention shared with trace.Event.Req.
+func (t *Trace) ReqID() int64 {
+	if t == nil {
+		return -1
+	}
+	return t.Req
+}
+
+// Begin opens a span and returns its index (-1 on a nil trace). Spans may
+// nest or interleave freely; they are kept in open order.
+func (t *Trace) Begin(name string) int {
+	if t == nil {
+		return -1
+	}
+	t.Spans = append(t.Spans, Span{Name: name, T0: time.Since(t.Start), T1: -1})
+	return len(t.Spans) - 1
+}
+
+// EndSpan closes the span opened at index i. Invalid indexes are ignored.
+func (t *Trace) EndSpan(i int) {
+	if t == nil || i < 0 || i >= len(t.Spans) {
+		return
+	}
+	t.Spans[i].T1 = time.Since(t.Start)
+}
+
+// SpanInt attaches an integer attribute to span i.
+func (t *Trace) SpanInt(i int, key string, v int64) {
+	if t == nil || i < 0 || i >= len(t.Spans) {
+		return
+	}
+	t.Spans[i].Attrs = append(t.Spans[i].Attrs, Attr{Key: key, Kind: AttrInt, I: v})
+}
+
+// SpanFloat attaches a float attribute to span i.
+func (t *Trace) SpanFloat(i int, key string, v float64) {
+	if t == nil || i < 0 || i >= len(t.Spans) {
+		return
+	}
+	t.Spans[i].Attrs = append(t.Spans[i].Attrs, Attr{Key: key, Kind: AttrFloat, F: v})
+}
+
+// SpanStr attaches a string attribute to span i.
+func (t *Trace) SpanStr(i int, key, v string) {
+	if t == nil || i < 0 || i >= len(t.Spans) {
+		return
+	}
+	t.Spans[i].Attrs = append(t.Spans[i].Attrs, Attr{Key: key, Kind: AttrStr, S: v})
+}
+
+// SpanBool attaches a boolean attribute to span i.
+func (t *Trace) SpanBool(i int, key string, v bool) {
+	if t == nil || i < 0 || i >= len(t.Spans) {
+		return
+	}
+	b := int64(0)
+	if v {
+		b = 1
+	}
+	t.Spans[i].Attrs = append(t.Spans[i].Attrs, Attr{Key: key, Kind: AttrBool, I: b})
+}
+
+// Int attaches a request-level integer attribute.
+func (t *Trace) Int(key string, v int64) {
+	if t == nil {
+		return
+	}
+	t.Attrs = append(t.Attrs, Attr{Key: key, Kind: AttrInt, I: v})
+}
+
+// Float attaches a request-level float attribute.
+func (t *Trace) Float(key string, v float64) {
+	if t == nil {
+		return
+	}
+	t.Attrs = append(t.Attrs, Attr{Key: key, Kind: AttrFloat, F: v})
+}
+
+// Str attaches a request-level string attribute.
+func (t *Trace) Str(key, v string) {
+	if t == nil {
+		return
+	}
+	t.Attrs = append(t.Attrs, Attr{Key: key, Kind: AttrStr, S: v})
+}
+
+// SetPayload attaches a structured result to the trace.
+func (t *Trace) SetPayload(v any) {
+	if t != nil {
+		t.Payload = v
+	}
+}
+
+// Finish stamps the end time and status and hands the trace to the flight
+// recorder. A trace must not be written to (or Finished again) afterwards:
+// concurrent dumpers read it without locks.
+func (t *Trace) Finish(status string) {
+	if t == nil {
+		return
+	}
+	t.End = time.Now()
+	t.Status = status
+	tr := t.tr
+	if tr == nil {
+		return
+	}
+	tr.fr.Add(t)
+	if status != StatusOK && tr.onFailure != nil {
+		tr.failureOnce.Do(func() { tr.onFailure(tr.fr, t) })
+	}
+}

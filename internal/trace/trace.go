@@ -38,8 +38,26 @@ type Event struct {
 	// applicable.
 	Conn int `json:"conn"`
 	Link int `json:"link"`
+	// Req is the obs request ID of the routing trace behind this event, so
+	// a JSONL event log joins against flight-recorder dumps (whose lines
+	// carry the same ID in their "req" field). −1 when the event has no
+	// routing trace — untraced runs, failures, repairs, reconfig triggers.
+	Req int `json:"req"`
 	// Detail carries free-form context ("cost=12.5", "theta=0.4").
 	Detail string `json:"detail,omitempty"`
+}
+
+// UnmarshalJSON decodes an event, defaulting Req to −1 when the field is
+// absent — event logs written before request tracing existed keep their
+// meaning ("no trace") instead of silently claiming request 0.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	type alias Event // drops the method set; plain decode, no recursion
+	a := alias{Req: -1}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*e = Event(a)
+	return nil
 }
 
 // Recorder consumes events. Record reports encoding/transport failures so

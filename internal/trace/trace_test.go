@@ -190,3 +190,42 @@ func TestBufferConcurrentRecord(t *testing.T) {
 		t.Fatalf("recorded %d events, want %d", got, workers*perWorker)
 	}
 }
+
+func TestEventReqDefaultsToAbsent(t *testing.T) {
+	// Logs written before the Req field existed must decode as "no trace"
+	// (-1), not as request 0; logs that carry req must keep it.
+	legacy := `{"t":1.5,"kind":"accept","conn":3,"link":-1}
+{"t":2,"kind":"arrival","conn":4,"link":-1,"req":17}
+{"t":3,"kind":"failure","conn":-1,"link":2,"req":-1}
+`
+	events, err := ReadJSONL(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("decoded %d events", len(events))
+	}
+	if events[0].Req != -1 {
+		t.Errorf("legacy event Req = %d, want -1", events[0].Req)
+	}
+	if events[1].Req != 17 || events[2].Req != -1 {
+		t.Errorf("explicit Req mangled: %d, %d", events[1].Req, events[2].Req)
+	}
+
+	// And a freshly recorded event round-trips its Req through JSONL.
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	if err := j.Record(Event{Time: 9, Kind: Block, Conn: 7, Link: -1, Req: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Req != 42 {
+		t.Fatalf("round-trip lost Req: %+v", back)
+	}
+}
