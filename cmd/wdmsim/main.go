@@ -10,12 +10,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/timeseries"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -33,7 +35,9 @@ func main() {
 	repair := flag.Float64("repair", 5, "link repair time")
 	reconfigTh := flag.Float64("reconfig", 0.6, "reconfiguration load threshold (0 = off)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
-	traffic := flag.String("traffic", "uniform", "endpoint model: uniform, gravity")
+	traffic := flag.String("traffic", "uniform", "endpoint model: uniform, gravity, diurnal")
+	period := flag.Float64("period", 200, "diurnal cycle length in sim-time units (with -traffic diurnal)")
+	amp := flag.Float64("amp", 0.8, "diurnal rate swing in [0,1) (with -traffic diurnal)")
 	matrixFile := flag.String("matrix", "", "load the traffic matrix from a text file (overrides -traffic)")
 	holding := flag.String("holding", "exp", "holding-time distribution: exp, det, pareto")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot to this file (.json → JSON, else Prometheus text)")
@@ -43,6 +47,9 @@ func main() {
 	flightCap := flag.Int("flight", obs.DefaultCapacity, "flight-recorder capacity (last N request traces)")
 	flightOut := flag.String("flight-out", "", "dump the flight recorder as JSONL to this file at end of run")
 	linger := flag.Float64("linger", 0, "keep the -serve endpoints up this many seconds after the run (for probes)")
+	soak := flag.Bool("soak", false, "soak mode: collect windowed telemetry and print the latency/blocking curve")
+	window := flag.Float64("window", 5, "telemetry window width in sim-time units")
+	timeseriesOut := flag.String("timeseries-out", "", "stream sealed telemetry windows to this file (.csv → CSV, else JSONL)")
 	version := cli.VersionFlag()
 	flag.Parse()
 	cli.HandleVersion(*version)
@@ -80,8 +87,37 @@ func main() {
 		}
 		tracer = obs.New(cfg)
 	}
+	// Windowed telemetry rides behind -soak, -timeseries-out or -serve: the
+	// simulator cuts sim-time windows of -window units, each carrying routing
+	// latency quantiles, blocking, reroute counts and a network-state probe.
+	var tel *netsim.Telemetry
+	if *soak || *timeseriesOut != "" || *serveAddr != "" {
+		tel = netsim.NewTelemetry(*window, 0)
+	}
+	var tsSink interface{ Close() error }
+	if *timeseriesOut != "" {
+		fh, err := os.Create(*timeseriesOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if strings.HasSuffix(*timeseriesOut, ".csv") {
+			snk := timeseries.NewCSV(fh)
+			tel.Collector().SetSink(snk)
+			tsSink = snk
+		} else {
+			snk := timeseries.NewJSONL(fh)
+			tel.Collector().SetSink(snk)
+			tsSink = snk
+		}
+	}
 	if *serveAddr != "" {
-		addr, err := cli.StartDebugServer(*serveAddr, reg, tracer.Flight())
+		addr, err := cli.StartDebugServer(*serveAddr, cli.DebugOpts{
+			Metrics:  reg,
+			Flight:   tracer.Flight(),
+			Series:   tel.Collector(),
+			NetState: tel.NetState,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -114,6 +150,7 @@ func main() {
 		ReconfigThreshold: *reconfigTh,
 		ReconfigCooldown:  0.2,
 		Tracer:            tracer,
+		Telemetry:         tel,
 	}
 	var traceRec *trace.JSONL
 	if *tracePath != "" {
@@ -145,7 +182,9 @@ func main() {
 				matrix.Nodes(), matrix.Nodes(), net.Nodes())
 			os.Exit(1)
 		}
-	case *traffic == "uniform":
+	case *traffic == "uniform", *traffic == "diurnal":
+		// Diurnal shapes the arrival process, not the endpoints: it rides a
+		// uniform matrix (or the -matrix file when given).
 		matrix = workload.NewUniformMatrix(net.Nodes())
 	case *traffic == "gravity":
 		// Synthetic populations: every third node is a 3× hub.
@@ -173,10 +212,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown holding distribution %q\n", *holding)
 		os.Exit(1)
 	}
-	reqs := workload.MatrixPoisson(workload.MatrixConfig{
+	mc := workload.MatrixConfig{
 		Matrix: matrix, ArrivalRate: *erlang, MeanHolding: 1,
 		Count: *count, Seed: *seed, Holding: dist,
-	})
+	}
+	var reqs []workload.Request
+	if *traffic == "diurnal" {
+		reqs = workload.DiurnalPoisson(workload.DiurnalConfig{MatrixConfig: mc, Period: *period, Amp: *amp})
+	} else {
+		reqs = workload.MatrixPoisson(mc)
+	}
 	m := sim.Run(reqs)
 
 	// An incomplete event trace is data loss, not a warning: exit non-zero
@@ -188,6 +233,17 @@ func main() {
 			traceBroken = true
 		} else if err := sim.TraceErr(); err != nil {
 			fmt.Fprintf(os.Stderr, "error: trace file %s incomplete: %v\n", *tracePath, err)
+			traceBroken = true
+		}
+	}
+	// The telemetry export shares the trace file's contract: a curve with
+	// windows missing on disk fails the run.
+	if tsSink != nil {
+		if err := tsSink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "error: timeseries file %s incomplete: %v\n", *timeseriesOut, err)
+			traceBroken = true
+		} else if err := tel.Collector().SinkErr(); err != nil {
+			fmt.Fprintf(os.Stderr, "error: timeseries file %s incomplete: %v\n", *timeseriesOut, err)
 			traceBroken = true
 		}
 	}
@@ -224,6 +280,10 @@ func main() {
 		}
 	}
 
+	if *soak {
+		printCurve(tel.Collector())
+	}
+
 	if *metricsOut != "" {
 		if err := reg.WriteFile(*metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -251,5 +311,36 @@ func main() {
 	}
 	if traceBroken {
 		os.Exit(1)
+	}
+}
+
+// printCurve renders the retained telemetry windows as a compact table:
+// per-window routing-latency quantiles, blocking, link load and
+// reconfigurations, strided so long soaks print at most maxRows rows (every
+// window still reaches -timeseries-out and /debug/timeseries).
+func printCurve(col *timeseries.Collector) {
+	snaps := col.Snapshots(0)
+	if len(snaps) == 0 {
+		return
+	}
+	const maxRows = 12
+	stride := (len(snaps) + maxRows - 1) / maxRows
+	if evicted := col.Evicted(); evicted > 0 {
+		fmt.Printf("telemetry curve (last %d of %d windows; older evicted from memory)\n",
+			len(snaps), col.TotalSealed())
+	} else {
+		fmt.Printf("telemetry curve (%d windows)\n", len(snaps))
+	}
+	fmt.Printf("  %10s %8s %9s %9s %8s %7s %7s %7s\n",
+		"t", "offered", "p50(µs)", "p99(µs)", "block%", "ρmean", "ρmax", "reconf")
+	for i := 0; i < len(snaps); i += stride {
+		s := &snaps[i]
+		lat, _ := s.Hist(netsim.SeriesRouteLatency)
+		blk, _ := s.RatioOf(netsim.SeriesBlocking)
+		lm, _ := s.GaugeOf(netsim.SeriesLinkLoadMean)
+		lx, _ := s.GaugeOf(netsim.SeriesLinkLoadMax)
+		rc, _ := s.RateOf(netsim.SeriesReconfigs)
+		fmt.Printf("  %10.4g %8d %9.3g %9.3g %8.3g %7.3f %7.3f %7d\n",
+			s.End, blk.Den, lat.P50*1e6, lat.P99*1e6, 100*blk.Value, lm.Last, lx.Last, rc.Count)
 	}
 }

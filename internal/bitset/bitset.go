@@ -245,6 +245,41 @@ func (s *Set) NextAfter(i int) int {
 	return -1
 }
 
+// LongestRun returns the length of the longest run of consecutive set bits,
+// word-at-a-time: within each word the longest run of k consecutive ones is
+// found by k-fold self-AND-shift, and runs crossing word boundaries are
+// stitched via the carry of trailing ones. Returns 0 for an empty set.
+func (s *Set) LongestRun() int {
+	best, carry := 0, 0
+	for _, w := range s.words {
+		if w == ^uint64(0) {
+			carry += wordBits
+			if carry > best {
+				best = carry
+			}
+			continue
+		}
+		// Run carried in from the previous word extends over this word's
+		// trailing ones.
+		if carry > 0 {
+			run := carry + bits.TrailingZeros64(^w)
+			if run > best {
+				best = run
+			}
+		}
+		// Longest run fully inside this word.
+		run := 0
+		for x := w; x != 0; x &= x << 1 {
+			run++
+		}
+		if run > best {
+			best = run
+		}
+		carry = bits.LeadingZeros64(^w) // trailing ones at the top of the word
+	}
+	return best
+}
+
 // ForEach calls fn for every set bit in ascending order. If fn returns false
 // the iteration stops early.
 func (s *Set) ForEach(fn func(i int) bool) {

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -12,19 +13,39 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/explain"
+	"repro/internal/timeseries"
 )
+
+// DebugOpts selects which data sources the debug handler exposes. Any field
+// may be nil; its endpoints then answer 404 so probes can tell "not enabled"
+// from "not yet populated".
+type DebugOpts struct {
+	// Metrics backs /metrics (Prometheus text exposition).
+	Metrics *metrics.Registry
+	// Flight backs /debug/flight and /debug/explain/<id>.
+	Flight *obs.FlightRecorder
+	// Series backs /debug/timeseries: sealed telemetry windows as JSON.
+	Series *timeseries.Collector
+	// NetState backs /debug/net; it is called per request and should return
+	// the latest sealed network snapshot (nil until one exists). Typically
+	// (*netsim.Telemetry).NetState.
+	NetState func() *timeseries.NetState
+}
 
 // DebugMux builds the debug HTTP handler shared by wdmsim -serve and tests:
 //
 //	/healthz              liveness probe (200 "ok")
-//	/metrics              Prometheus text exposition of reg (404 if reg is nil)
+//	/metrics              Prometheus text exposition (404 if not enabled)
 //	/debug/flight         flight-recorder dump as JSONL, oldest trace first
 //	/debug/explain/<id>   explain report for request <id> (JSON; ?format=text)
+//	/debug/timeseries     sealed telemetry windows, oldest first (?last=N)
+//	/debug/net            latest per-link network-state snapshot
 //	/debug/pprof/*        the standard runtime profiles
 //
 // Unlike StartPprof this never touches http.DefaultServeMux, so several
 // servers (or tests) can coexist in one process.
-func DebugMux(reg *metrics.Registry, fr *obs.FlightRecorder) *http.ServeMux {
+func DebugMux(o DebugOpts) *http.ServeMux {
+	reg, fr := o.Metrics, o.Flight
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -89,6 +110,51 @@ func DebugMux(reg *metrics.Registry, fr *obs.FlightRecorder) *http.ServeMux {
 		}
 		_, _ = buf.WriteTo(w)
 	})
+	mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		if o.Series == nil {
+			http.Error(w, "timeseries collector not enabled", http.StatusNotFound)
+			return
+		}
+		last := 0 // 0 = everything retained
+		if q := r.URL.Query().Get("last"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad last=%q", q), http.StatusBadRequest)
+				return
+			}
+			last = n
+		}
+		snaps := o.Series.Snapshots(last)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snaps); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = buf.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/net", func(w http.ResponseWriter, _ *http.Request) {
+		if o.NetState == nil {
+			http.Error(w, "network-state probe not enabled", http.StatusNotFound)
+			return
+		}
+		ns := o.NetState()
+		if ns == nil {
+			http.Error(w, "no network snapshot sealed yet", http.StatusNotFound)
+			return
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ns); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = buf.WriteTo(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -100,11 +166,11 @@ func DebugMux(reg *metrics.Registry, fr *obs.FlightRecorder) *http.ServeMux {
 // StartDebugServer binds addr (e.g. "localhost:0"), serves DebugMux in a
 // background goroutine, and returns the bound address for log lines and CI
 // probes. The listener lives until the process exits.
-func StartDebugServer(addr string, reg *metrics.Registry, fr *obs.FlightRecorder) (string, error) {
+func StartDebugServer(addr string, o DebugOpts) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
-	go func() { _ = http.Serve(ln, DebugMux(reg, fr)) }()
+	go func() { _ = http.Serve(ln, DebugMux(o)) }()
 	return ln.Addr().String(), nil
 }

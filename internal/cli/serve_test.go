@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/explain"
+	"repro/internal/timeseries"
 	"repro/internal/topo"
 )
 
@@ -44,7 +45,7 @@ func get(t *testing.T, mux *http.ServeMux, url string) (int, string) {
 
 func TestDebugMuxHealthAndMetrics(t *testing.T) {
 	tr, _ := tracedRequest(t)
-	mux := DebugMux(metrics.NewRegistry(), tr.Flight())
+	mux := DebugMux(DebugOpts{Metrics: metrics.NewRegistry(), Flight: tr.Flight()})
 
 	if code, body := get(t, mux, "/healthz"); code != http.StatusOK || body != "ok\n" {
 		t.Fatalf("/healthz = %d %q", code, body)
@@ -55,7 +56,7 @@ func TestDebugMuxHealthAndMetrics(t *testing.T) {
 
 	// Without a registry or recorder the endpoints report absence rather
 	// than serving empty documents.
-	bare := DebugMux(nil, nil)
+	bare := DebugMux(DebugOpts{})
 	if code, _ := get(t, bare, "/metrics"); code != http.StatusNotFound {
 		t.Fatalf("/metrics with nil registry = %d, want 404", code)
 	}
@@ -66,7 +67,7 @@ func TestDebugMuxHealthAndMetrics(t *testing.T) {
 
 func TestDebugMuxFlightDump(t *testing.T) {
 	tr, id := tracedRequest(t)
-	mux := DebugMux(nil, tr.Flight())
+	mux := DebugMux(DebugOpts{Flight: tr.Flight()})
 
 	code, body := get(t, mux, "/debug/flight")
 	if code != http.StatusOK {
@@ -91,7 +92,7 @@ func TestDebugMuxFlightDump(t *testing.T) {
 
 func TestDebugMuxExplain(t *testing.T) {
 	tr, id := tracedRequest(t)
-	mux := DebugMux(nil, tr.Flight())
+	mux := DebugMux(DebugOpts{Flight: tr.Flight()})
 
 	code, body := get(t, mux, fmt.Sprintf("/debug/explain/%d", id))
 	if code != http.StatusOK {
@@ -118,8 +119,74 @@ func TestDebugMuxExplain(t *testing.T) {
 	}
 }
 
+func TestDebugMuxTimeseries(t *testing.T) {
+	clock := timeseries.NewSimClock()
+	col := timeseries.New(timeseries.Config{Window: 1, Clock: clock})
+	r := col.Rate("events")
+	for w := 0; w < 5; w++ {
+		r.Inc()
+		clock.Advance(float64(w + 1))
+		col.Advance(float64(w + 1))
+	}
+	mux := DebugMux(DebugOpts{Series: col})
+
+	code, body := get(t, mux, "/debug/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/timeseries = %d", code)
+	}
+	var snaps []timeseries.Snapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("timeseries JSON: %v", err)
+	}
+	if len(snaps) != 5 || snaps[0].Window != 0 {
+		t.Fatalf("got %d windows, first %+v", len(snaps), snaps[0])
+	}
+
+	code, body = get(t, mux, "/debug/timeseries?last=2")
+	if err := json.Unmarshal([]byte(body), &snaps); code != http.StatusOK || err != nil {
+		t.Fatalf("last=2: %d %v", code, err)
+	}
+	if len(snaps) != 2 || snaps[0].Window != 3 || snaps[1].Window != 4 {
+		t.Fatalf("last=2 returned %+v", snaps)
+	}
+
+	if code, _ := get(t, mux, "/debug/timeseries?last=nope"); code != http.StatusBadRequest {
+		t.Fatalf("malformed last = %d, want 400", code)
+	}
+	if code, _ := get(t, DebugMux(DebugOpts{}), "/debug/timeseries"); code != http.StatusNotFound {
+		t.Fatalf("disabled collector = %d, want 404", code)
+	}
+}
+
+func TestDebugMuxNetState(t *testing.T) {
+	var state *timeseries.NetState
+	mux := DebugMux(DebugOpts{NetState: func() *timeseries.NetState { return state }})
+
+	// Enabled but nothing sealed yet: 404 so probes can distinguish phases.
+	if code, _ := get(t, mux, "/debug/net"); code != http.StatusNotFound {
+		t.Fatalf("pre-seal /debug/net = %d, want 404", code)
+	}
+
+	state = timeseries.ProbeNetwork(topo.NSFNET(topo.Config{W: 4}), 7.5, 3)
+	code, body := get(t, mux, "/debug/net")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/net = %d", code)
+	}
+	var ns timeseries.NetState
+	if err := json.Unmarshal([]byte(body), &ns); err != nil {
+		t.Fatalf("net JSON: %v", err)
+	}
+	if ns.Time != 7.5 || ns.Nodes != 14 || ns.ActiveConns != 3 || len(ns.Links) == 0 {
+		t.Fatalf("NetState = %+v", ns)
+	}
+
+	if code, _ := get(t, DebugMux(DebugOpts{}), "/debug/net"); code != http.StatusNotFound {
+		t.Fatalf("disabled probe = %d, want 404", code)
+	}
+}
+
 func TestDebugMuxPprofIndex(t *testing.T) {
-	mux := DebugMux(nil, nil)
+	mux := DebugMux(DebugOpts{})
 	if code, body := get(t, mux, "/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profile") {
 		t.Fatalf("/debug/pprof/ = %d", code)
 	}
@@ -127,7 +194,7 @@ func TestDebugMuxPprofIndex(t *testing.T) {
 
 func TestStartDebugServer(t *testing.T) {
 	tr, _ := tracedRequest(t)
-	addr, err := StartDebugServer("127.0.0.1:0", nil, tr.Flight())
+	addr, err := StartDebugServer("127.0.0.1:0", DebugOpts{Flight: tr.Flight()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,10 @@ var ecMethodRules = []struct {
 	// post-mortem needs.
 	{"obs", "Dump"},
 	{"obs", "DumpFile"},
+	// Telemetry export sinks buffer sealed windows; dropping Flush/Close
+	// truncates the curve on disk with no other symptom.
+	{"timeseries", "Flush"},
+	{"timeseries", "Close"},
 }
 
 func runErrCheckLite(p *lint.Pass) {

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"fix/errcheck/obs"
+	"fix/errcheck/timeseries"
 	"fix/errcheck/trace"
 )
 
@@ -84,4 +85,22 @@ func DropDumpFile(f *obs.Flight) {
 func CheckedDump(f *obs.Flight, w io.Writer) error {
 	f.Add(2)
 	return f.Dump(w)
+}
+
+// DropSinkFlush discards the telemetry sink flush error: finding.
+func DropSinkFlush(s *timeseries.JSONL) {
+	s.WriteSnapshot(1)
+	s.Flush()
+}
+
+// DeferSinkClose discards the sink close error at exit: finding.
+func DeferSinkClose(s *timeseries.JSONL) {
+	defer s.Close()
+	s.WriteSnapshot(2)
+}
+
+// CheckedSink propagates the close error: clean.
+func CheckedSink(s *timeseries.JSONL) error {
+	s.WriteSnapshot(3)
+	return s.Close()
 }

@@ -1,0 +1,24 @@
+// Package timeseries is a fixture export sink whose Flush and Close drain a
+// buffer of sealed telemetry windows; dropping their errors truncates the
+// exported curve silently.
+package timeseries
+
+import "io"
+
+// JSONL buffers sealed windows before writing them out.
+type JSONL struct {
+	w       io.Writer
+	pending int
+}
+
+// WriteSnapshot buffers one sealed window.
+func (j *JSONL) WriteSnapshot(v int) { j.pending++ }
+
+// Flush drains the buffer and reports the first write error.
+func (j *JSONL) Flush() error {
+	j.pending = 0
+	return nil
+}
+
+// Close flushes and releases the underlying writer.
+func (j *JSONL) Close() error { return j.Flush() }

@@ -15,6 +15,13 @@ type instruments struct {
 	restored    *metrics.Counter
 	dropped     *metrics.Counter
 	reconfigs   *metrics.Counter
+
+	// Live progress gauges: refreshed as the simulation runs so a /metrics
+	// scrape mid-run shows where the run stands, not just end-of-run totals.
+	networkLoad  *metrics.Gauge
+	liveConns    *metrics.Gauge
+	offered      *metrics.Gauge
+	blockingProb *metrics.Gauge
 }
 
 var instr instruments
@@ -32,5 +39,10 @@ func EnableMetrics(r *metrics.Registry) {
 		restored:    r.Counter("netsim_restored_total", "connections recovered after a failure"),
 		dropped:     r.Counter("netsim_dropped_total", "connections lost to an unrecovered failure"),
 		reconfigs:   r.Counter("netsim_reconfigs_total", "reconfiguration events triggered"),
+
+		networkLoad:  r.Gauge("netsim_network_load", "current network load rho (max link utilization)"),
+		liveConns:    r.Gauge("netsim_live_connections", "connections currently established"),
+		offered:      r.Gauge("netsim_offered", "measured requests offered so far"),
+		blockingProb: r.Gauge("netsim_blocking_probability", "running blocked/offered ratio over measured requests"),
 	}
 }

@@ -137,6 +137,14 @@ type Config struct {
 	// request ID in their Req field, so the two JSONL outputs join on it.
 	Tracer *obs.Tracer
 
+	// Telemetry, when non-nil, collects windowed time-series over sim time:
+	// per-window route-latency quantiles, blocking probability, reroute and
+	// reconfiguration rates, and network-state probes (link load ρ,
+	// first-fit fragmentation, active lightpaths) sampled at each window
+	// seal. Telemetry observes every arrival, including warm-up — the
+	// transient is exactly what a curve is for. One Telemetry per Sim.
+	Telemetry *Telemetry
+
 	// Reprotect, under Active restoration, re-establishes a fresh backup
 	// after a switchover or a degraded backup, so connections do not stay
 	// unprotected until departure (a variant the paper's §1 survey calls
@@ -258,7 +266,7 @@ func New(net *wdm.Network, cfg Config) *Sim {
 	}
 	router := core.NewRouter(cfg.Opts)
 	router.SetTracer(cfg.Tracer)
-	return &Sim{
+	s := &Sim{
 		net:          net.Clone(),
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
@@ -269,6 +277,8 @@ func New(net *wdm.Network, cfg Config) *Sim {
 		forced:       make([][]wdm.Wavelength, net.Links()),
 		lastReconfig: math.Inf(-1),
 	}
+	cfg.Telemetry.bind(s)
+	return s
 }
 
 // Network exposes the simulator's network (for inspection in tests and
@@ -340,11 +350,17 @@ func (s *Sim) Run(reqs []workload.Request) *Metrics {
 		s.maybeReconfigure(e.time)
 	}
 	s.m.Horizon = s.lastT
+	s.cfg.Telemetry.finish()
+	s.syncArrivalGauges()
 	return &s.m
 }
 
-// advanceClock integrates ρ over the elapsed interval.
+// advanceClock integrates ρ over the elapsed interval, seals completed
+// telemetry windows, and refreshes the live progress gauges.
 func (s *Sim) advanceClock(t float64) {
+	// Seal windows that ended strictly before t, so the probe samples the
+	// network as of the last event inside each window.
+	s.cfg.Telemetry.advance(t)
 	rho := s.net.NetworkLoad()
 	if rho > s.m.MaxNetworkLoad {
 		s.m.MaxNetworkLoad = rho
@@ -353,10 +369,24 @@ func (s *Sim) advanceClock(t float64) {
 		s.m.LoadIntegral += rho * (t - s.lastT)
 		s.lastT = t
 	}
+	instr.networkLoad.Set(rho)
+	instr.liveConns.Set(float64(len(s.conns)))
+}
+
+// syncArrivalGauges publishes the running offered count and blocking
+// probability so a /metrics scrape mid-run reports progress, not just
+// end-of-run totals.
+func (s *Sim) syncArrivalGauges() {
+	instr.offered.Set(float64(s.m.Offered))
+	instr.blockingProb.Set(s.m.BlockingProbability())
+	instr.liveConns.Set(float64(len(s.conns)))
 }
 
 func (s *Sim) handleArrival(r workload.Request) {
 	s.arrivals++
+	// Keep the /metrics progress gauges in step with the run counters on
+	// every exit path.
+	defer s.syncArrivalGauges()
 	measured := s.arrivals > s.cfg.WarmupRequests
 	if measured {
 		s.m.Offered++
@@ -375,6 +405,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 			}
 		}
 		rt := instr.routeTime.Start()
+		tt := s.cfg.Telemetry.routeStart()
 		res, ok := route(s.net, r.Src, r.Dst)
 		instr.routeTime.Stop(rt)
 		if viaRouter {
@@ -386,9 +417,11 @@ func (s *Sim) handleArrival(r workload.Request) {
 				s.m.Blocked++
 			}
 			instr.blocked.Inc()
+			s.cfg.Telemetry.routeDone(tt, true)
 			s.emit(trace.Block, r.ID, -1, c.req, "")
 			return
 		}
+		s.cfg.Telemetry.routeDone(tt, false)
 		c.primary, c.backup = res.Primary, res.Backup
 		if measured {
 			s.m.Cost.Add(res.Cost)
@@ -399,6 +432,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 		tc := s.cfg.Tracer.Start("passive-optimal", r.Src, r.Dst)
 		c.req = tc.ReqID()
 		rt := instr.routeTime.Start()
+		tt := s.cfg.Telemetry.routeStart()
 		p, cost, ok := lightpath.Optimal(s.net, r.Src, r.Dst, nil)
 		instr.routeTime.Stop(rt)
 		s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
@@ -407,10 +441,12 @@ func (s *Sim) handleArrival(r workload.Request) {
 				s.m.Blocked++
 			}
 			instr.blocked.Inc()
+			s.cfg.Telemetry.routeDone(tt, true)
 			tc.Finish(obs.StatusBlocked)
 			s.emit(trace.Block, r.ID, -1, c.req, "")
 			return
 		}
+		s.cfg.Telemetry.routeDone(tt, false)
 		c.primary = p
 		if measured {
 			s.m.Cost.Add(cost)
@@ -583,6 +619,7 @@ func (s *Sim) restore(c *conn, failedLink int) {
 	c.primary = p
 	s.m.Recovered++
 	instr.restored.Inc()
+	s.cfg.Telemetry.rerouted()
 	s.m.RecoveryWork.Add(float64(p.Len()))
 	s.emit(trace.Reroute, c.id, failedLink, c.req, "passive-restore")
 }
@@ -640,6 +677,7 @@ func (s *Sim) maybeReconfigure(t float64) {
 	s.lastReconfig = t
 	s.m.Reconfigs++
 	instr.reconfigs.Inc()
+	s.cfg.Telemetry.reconfigEvent()
 	s.emit(trace.Reconfig, -1, -1, -1, fmt.Sprintf("rho=%.3f", rho))
 	// Most loaded link.
 	worst, rho := -1, -1.0
@@ -674,6 +712,7 @@ func (s *Sim) maybeReconfigure(t float64) {
 			c.primary, c.backup = res.Primary, res.Backup
 			c.req = s.router.LastTraceID() // the connection now rides this trace's pair
 			s.m.ReroutedConns++
+			s.cfg.Telemetry.rerouted()
 			s.emit(trace.Reroute, c.id, worst, c.req, "reconfig")
 			continue
 		}

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Telemetry series names, as they appear in /debug/timeseries and in the
+// JSONL/CSV export.
+const (
+	// SeriesRouteLatency is the per-request wall-clock routing latency
+	// histogram (seconds; p50/p95/p99 per window).
+	SeriesRouteLatency = "route_latency_seconds"
+	// SeriesBlocking is the per-window blocking probability: blocked
+	// requests over offered requests, 0 on an empty window.
+	SeriesBlocking = "blocking"
+	// SeriesAccepted counts connections established per window.
+	SeriesAccepted = "accepted"
+	// SeriesReroutes counts connection reroutes per window (reconfiguration
+	// moves and passive restorations).
+	SeriesReroutes = "reroutes"
+	// SeriesReconfigs counts reconfiguration events per window — the
+	// paper's §4 disruption metric as a curve instead of a total.
+	SeriesReconfigs = "reconfigs"
+	// SeriesActiveConns gauges the live connection count, sampled at each
+	// window seal.
+	SeriesActiveConns = "active_conns"
+	// SeriesLinkLoadMean and SeriesLinkLoadMax gauge per-link ρ(e)
+	// aggregates, sampled at each window seal; the max is the network load
+	// ρ of Eq. 2.
+	SeriesLinkLoadMean = "link_load_mean"
+	SeriesLinkLoadMax  = "link_load_max"
+	// SeriesFragMean gauges mean first-fit wavelength fragmentation.
+	SeriesFragMean = "frag_mean"
+)
+
+// Telemetry is the simulator's windowed time-series bundle: a collector on
+// a sim-time clock, the routing/blocking/reconfiguration series, and a
+// per-window network-state probe whose latest snapshot backs /debug/net.
+// A nil *Telemetry is permanently off: every method is a no-op, and the
+// simulator's hot path costs only nil checks (pinned by the alloc
+// regression test). One Telemetry serves one Sim.
+type Telemetry struct {
+	clock *timeseries.SimClock
+	col   *timeseries.Collector
+
+	routeLat  *timeseries.Histogram
+	blocking  *timeseries.Ratio
+	accepted  *timeseries.Rate
+	reroutes  *timeseries.Rate
+	reconfigs *timeseries.Rate
+	active    *timeseries.Gauge
+	loadMean  *timeseries.Gauge
+	loadMax   *timeseries.Gauge
+	fragMean  *timeseries.Gauge
+
+	netState atomic.Pointer[timeseries.NetState]
+	bound    atomic.Bool
+}
+
+// NewTelemetry returns a telemetry bundle cutting windows of window
+// sim-seconds, retaining the last retention sealed windows in memory
+// (timeseries.DefaultRetention if 0). Attach it via Config.Telemetry.
+func NewTelemetry(window float64, retention int) *Telemetry {
+	clock := timeseries.NewSimClock()
+	col := timeseries.New(timeseries.Config{Window: window, Retention: retention, Clock: clock})
+	return &Telemetry{
+		clock:     clock,
+		col:       col,
+		routeLat:  col.Histogram(SeriesRouteLatency, nil),
+		blocking:  col.Ratio(SeriesBlocking),
+		accepted:  col.Rate(SeriesAccepted),
+		reroutes:  col.Rate(SeriesReroutes),
+		reconfigs: col.Rate(SeriesReconfigs),
+		active:    col.Gauge(SeriesActiveConns),
+		loadMean:  col.Gauge(SeriesLinkLoadMean),
+		loadMax:   col.Gauge(SeriesLinkLoadMax),
+		fragMean:  col.Gauge(SeriesFragMean),
+	}
+}
+
+// Collector exposes the underlying collector (nil for nil telemetry) for
+// export sinks and the /debug/timeseries endpoint.
+func (t *Telemetry) Collector() *timeseries.Collector {
+	if t == nil {
+		return nil
+	}
+	return t.col
+}
+
+// NetState returns the latest per-link utilization snapshot (sampled at the
+// last window seal), or nil before the first seal. Safe from any goroutine.
+func (t *Telemetry) NetState() *timeseries.NetState {
+	if t == nil {
+		return nil
+	}
+	return t.netState.Load()
+}
+
+// bind hooks the telemetry to one simulator: the window-seal probe samples
+// that sim's network and live-connection count. A second bind panics — two
+// sims writing one collector would interleave their curves.
+func (t *Telemetry) bind(s *Sim) {
+	if t == nil {
+		return
+	}
+	if !t.bound.CompareAndSwap(false, true) {
+		panic("netsim: Telemetry already bound to a simulator")
+	}
+	t.col.OnSeal(func(at float64) {
+		ns := timeseries.ProbeNetwork(s.net, at, len(s.conns))
+		t.loadMean.Set(ns.MeanLoad)
+		t.loadMax.Set(ns.MaxLoad)
+		t.fragMean.Set(ns.MeanFrag)
+		t.active.Set(float64(ns.ActiveConns))
+		t.netState.Store(ns)
+	})
+}
+
+// advance pushes the sim clock to t and seals any completed windows.
+func (t *Telemetry) advance(at float64) {
+	if t == nil {
+		return
+	}
+	t.clock.Advance(at)
+	t.col.Advance(at)
+}
+
+// finish seals the final (partial) window at end of run.
+func (t *Telemetry) finish() {
+	if t == nil {
+		return
+	}
+	t.col.Seal()
+}
+
+// routeStart stamps the start of a routing computation. Returns the zero
+// time — without reading the clock — on nil telemetry.
+func (t *Telemetry) routeStart() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// routeDone records one routed arrival: wall-clock latency into the
+// windowed histogram and the outcome into the blocking ratio and accepted
+// rate.
+func (t *Telemetry) routeDone(t0 time.Time, blocked bool) {
+	if t == nil {
+		return
+	}
+	t.routeLat.Observe(time.Since(t0).Seconds())
+	t.blocking.Observe(blocked)
+	if !blocked {
+		t.accepted.Inc()
+	}
+}
+
+// rerouted counts one connection moved onto a new route.
+func (t *Telemetry) rerouted() {
+	if t == nil {
+		return
+	}
+	t.reroutes.Inc()
+}
+
+// reconfigEvent counts one reconfiguration trigger.
+func (t *Telemetry) reconfigEvent() {
+	if t == nil {
+		return
+	}
+	t.reconfigs.Inc()
+}

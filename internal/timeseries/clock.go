@@ -1,0 +1,57 @@
+package timeseries
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the current time in seconds on some monotonic axis. The
+// collector is agnostic about which axis: the simulator advances a SimClock
+// with event timestamps (sim-time windows), a live server uses a WallClock
+// (wall-time windows). Implementations must be safe for concurrent Now calls.
+type Clock interface {
+	Now() float64
+}
+
+// SimClock is a manually advanced clock for simulated time. The simulator
+// owns it and pushes every event timestamp through Advance; concurrent
+// readers (debug endpoints) see the latest advanced value.
+type SimClock struct {
+	bits atomic.Uint64
+}
+
+// NewSimClock returns a clock at time 0.
+func NewSimClock() *SimClock { return &SimClock{} }
+
+// Advance moves the clock to t. The clock never goes backwards: a t earlier
+// than the current time is ignored (the event queue can pop ties out of
+// order within one timestamp).
+func (c *SimClock) Advance(t float64) {
+	for {
+		old := c.bits.Load()
+		if math.Float64frombits(old) >= t {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(t)) {
+			return
+		}
+	}
+}
+
+// Now returns the last advanced time.
+func (c *SimClock) Now() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+// WallClock reports seconds elapsed since its creation — the clock for live
+// serving, where windows are real-time intervals.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a clock starting at 0 now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns seconds since the clock was created.
+func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() }

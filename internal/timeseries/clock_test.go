@@ -1,0 +1,59 @@
+package timeseries
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSimClockMonotonic(t *testing.T) {
+	c := NewSimClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %g", c.Now())
+	}
+	c.Advance(3.5)
+	if c.Now() != 3.5 {
+		t.Fatalf("Now = %g after Advance(3.5)", c.Now())
+	}
+	// The event queue can pop ties slightly out of order; the clock must
+	// never run backwards.
+	c.Advance(2)
+	if c.Now() != 3.5 {
+		t.Fatalf("clock went backwards to %g", c.Now())
+	}
+	c.Advance(3.5)
+	if c.Now() != 3.5 {
+		t.Fatal("idempotent advance changed the clock")
+	}
+}
+
+func TestSimClockConcurrentAdvance(t *testing.T) {
+	c := NewSimClock()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Advance(float64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Now() != 3999 {
+		t.Fatalf("Now = %g, want the maximum advanced value 3999", c.Now())
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	if a < 0 {
+		t.Fatalf("wall clock negative: %g", a)
+	}
+	time.Sleep(5 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("wall clock did not advance: %g -> %g", a, b)
+	}
+}

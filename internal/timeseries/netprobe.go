@@ -1,0 +1,94 @@
+package timeseries
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/wdm"
+)
+
+// LinkState is one link's utilization at probe time.
+type LinkState struct {
+	ID   int `json:"id"`
+	From int `json:"from"`
+	To   int `json:"to"`
+	// N and Used are the installed and in-use wavelength counts; Load is
+	// Used/N, the per-link ρ(e) of Eq. 2.
+	N    int     `json:"n"`
+	Used int     `json:"used"`
+	Load float64 `json:"load"`
+	// Frag is the first-fit fragmentation of the availability set
+	// Λ_avail(e): 1 − longest contiguous free run / free count. 0 means the
+	// free wavelengths form one block (first-fit finds them immediately and
+	// wide-channel requests fit); values near 1 mean the free capacity is
+	// scattered into single-wavelength islands.
+	Frag float64 `json:"frag"`
+}
+
+// NetState is a point-in-time utilization snapshot of the whole network —
+// the payload behind the /debug/net endpoint, sampled once per telemetry
+// window so concurrent readers never touch the live (unsynchronised)
+// wdm.Network.
+type NetState struct {
+	Time  float64 `json:"t"`
+	Nodes int     `json:"nodes"`
+	W     int     `json:"w"`
+	// ActiveConns is the number of live connections (as reported by the
+	// prober; -1 when unknown).
+	ActiveConns int `json:"active_conns"`
+	// MeanLoad and MaxLoad aggregate ρ(e) over links that carry
+	// wavelengths; MaxLoad is the network load ρ of Eq. 2.
+	MeanLoad float64 `json:"mean_load"`
+	MaxLoad  float64 `json:"max_load"`
+	// MeanFrag averages per-link first-fit fragmentation.
+	MeanFrag float64 `json:"mean_frag"`
+	// TotalAvail counts free (link, wavelength) pairs network-wide.
+	TotalAvail int         `json:"total_avail"`
+	Links      []LinkState `json:"links"`
+}
+
+// Fragmentation returns the first-fit fragmentation of an availability set:
+// 1 − longest contiguous free run / free count, and 0 for an empty or
+// perfectly contiguous set.
+func Fragmentation(avail *bitset.Set) float64 {
+	free := avail.Count()
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(avail.LongestRun())/float64(free)
+}
+
+// ProbeNetwork captures the utilization state of net at time t. The caller
+// must hold whatever synchronisation protects net (the simulator probes
+// from its own goroutine at window seals); the returned NetState is
+// immutable and safe to publish to concurrent readers.
+func ProbeNetwork(net *wdm.Network, t float64, activeConns int) *NetState {
+	ns := &NetState{
+		Time:        t,
+		Nodes:       net.Nodes(),
+		W:           net.W(),
+		ActiveConns: activeConns,
+		Links:       make([]LinkState, net.Links()),
+	}
+	carrying := 0
+	for id := 0; id < net.Links(); id++ {
+		l := net.Link(id)
+		ls := LinkState{ID: id, From: l.From, To: l.To, N: l.N(), Used: l.U()}
+		avail := l.Avail()
+		ns.TotalAvail += avail.Count()
+		if ls.N > 0 {
+			ls.Load = float64(ls.Used) / float64(ls.N)
+			ls.Frag = Fragmentation(avail)
+			carrying++
+			ns.MeanLoad += ls.Load
+			ns.MeanFrag += ls.Frag
+			if ls.Load > ns.MaxLoad {
+				ns.MaxLoad = ls.Load
+			}
+		}
+		ns.Links[id] = ls
+	}
+	if carrying > 0 {
+		ns.MeanLoad /= float64(carrying)
+		ns.MeanFrag /= float64(carrying)
+	}
+	return ns
+}

@@ -1,0 +1,70 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/topo"
+)
+
+func TestFragmentation(t *testing.T) {
+	almost := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+	if Fragmentation(bitset.New(8)) != 0 {
+		t.Fatal("empty set must report 0, not NaN")
+	}
+	if Fragmentation(bitset.NewFull(8)) != 0 {
+		t.Fatal("contiguous full set must report 0")
+	}
+	// One contiguous block, offset from zero: still unfragmented.
+	if got := Fragmentation(bitset.FromSlice(16, []int{5, 6, 7, 8})); got != 0 {
+		t.Fatalf("contiguous block frag = %g", got)
+	}
+	// Alternating bits: 4 free, longest run 1 → 1 − 1/4.
+	if got := Fragmentation(bitset.FromSlice(8, []int{0, 2, 4, 6})); !almost(got, 0.75) {
+		t.Fatalf("alternating frag = %g, want 0.75", got)
+	}
+	// Two islands of 2 in 6 free → 1 − 2/4.
+	if got := Fragmentation(bitset.FromSlice(8, []int{0, 1, 4, 5})); !almost(got, 0.5) {
+		t.Fatalf("two-island frag = %g, want 0.5", got)
+	}
+}
+
+func TestProbeNetwork(t *testing.T) {
+	net := topo.NSFNET(topo.Config{W: 4})
+	ns := ProbeNetwork(net, 12.5, 7)
+	if ns.Time != 12.5 || ns.Nodes != 14 || ns.W != 4 || ns.ActiveConns != 7 {
+		t.Fatalf("header = %+v", ns)
+	}
+	if len(ns.Links) != net.Links() {
+		t.Fatalf("probe has %d links, topology has %d", len(ns.Links), net.Links())
+	}
+	if ns.MeanLoad != 0 || ns.MaxLoad != 0 || ns.MeanFrag != 0 {
+		t.Fatalf("idle network shows load: %+v", ns)
+	}
+	if ns.TotalAvail != net.Links()*4 {
+		t.Fatalf("TotalAvail = %d, want %d", ns.TotalAvail, net.Links()*4)
+	}
+
+	// Occupy three wavelengths on link 0 (0, 1, 3 → one free, frag 0).
+	for _, lam := range []int{0, 1, 3} {
+		if err := net.Use(0, lam); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns = ProbeNetwork(net, 13, 7)
+	l0 := ns.Links[0]
+	if l0.Used != 3 || l0.Load != 0.75 {
+		t.Fatalf("link 0 = %+v", l0)
+	}
+	if ns.MaxLoad != 0.75 {
+		t.Fatalf("MaxLoad = %g", ns.MaxLoad)
+	}
+	if ns.TotalAvail != net.Links()*4-3 {
+		t.Fatalf("TotalAvail = %d", ns.TotalAvail)
+	}
+	if ns.MeanLoad <= 0 || ns.MeanLoad >= 0.75 {
+		t.Fatalf("MeanLoad = %g, want strictly between 0 and the max", ns.MeanLoad)
+	}
+}

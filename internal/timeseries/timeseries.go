@@ -1,0 +1,429 @@
+// Package timeseries is the temporal telemetry layer: where package metrics
+// answers "how is the engine doing in aggregate" and package obs answers
+// "why did request #1374 get an expensive pair", this package answers "how
+// did latency, blocking and load evolve over the run" — the time-series
+// form of the paper's §4 claim that folding load into RWA keeps the network
+// below the reconfiguration threshold longer.
+//
+// A Collector buckets samples into fixed-width windows on a pluggable clock
+// (sim-time from the simulator, wall-clock for live serving) and seals each
+// completed window into an immutable Snapshot: per-window quantiles
+// (p50/p95/p99) from rolling log-bucket histograms, windowed rates, guarded
+// ratios (empty window ⇒ 0, never NaN), and min/max/mean gauges. Sealed
+// windows land in a bounded ring (O(Retention) memory no matter how long
+// the run is) and, optionally, stream to a Sink (JSONL/CSV export), so a
+// 1M-request soak retains recent history for live probes while the full
+// curve goes to disk.
+//
+// Concurrency contract: one owner goroutine drives Observe/Add/Set and
+// Advance/Seal (the simulator loop); Snapshots, Len and the counters are
+// safe to call from any goroutine (debug HTTP handlers scrape mid-run).
+// Nil safety matches package metrics: every method on a nil *Collector and
+// on nil instrument handles is a no-op, so instrumented code calls
+// unconditionally and telemetry off costs only a nil check.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultRetention is the ring capacity when Config.Retention is 0.
+const DefaultRetention = 1024
+
+// Config parameterises a Collector.
+type Config struct {
+	// Window is the width of one aggregation window in clock seconds.
+	Window float64
+	// Retention is how many sealed windows the ring keeps
+	// (DefaultRetention if 0). Older windows are evicted from the ring but
+	// were already streamed to the Sink, if one is set.
+	Retention int
+	// Clock is the time source windows are cut against.
+	Clock Clock
+}
+
+// Sink consumes sealed windows as they close — the streaming export hook.
+// WriteSnapshot runs on the collector's owner goroutine; the snapshot is
+// immutable and may be retained.
+type Sink interface {
+	WriteSnapshot(*Snapshot) error
+}
+
+// Collector buckets samples into clock windows. Create with New; a nil
+// *Collector is permanently off and hands out nil instruments.
+type Collector struct {
+	mu  sync.Mutex
+	cfg Config
+
+	hists  []*histSeries
+	rates  []*rateSeries
+	ratios []*ratioSeries
+	gauges []*gaugeSeries
+
+	onSeal  []func(t float64)
+	sink    Sink
+	sinkErr error
+
+	curIdx      uint64
+	ring        []Snapshot
+	ringHead    int // next slot to overwrite
+	ringLen     int
+	sealedTotal uint64
+}
+
+// New returns a collector cutting windows of cfg.Window seconds against
+// cfg.Clock. It panics on a non-positive window or a nil clock.
+func New(cfg Config) *Collector {
+	if cfg.Window <= 0 || math.IsInf(cfg.Window, 0) || math.IsNaN(cfg.Window) {
+		panic("timeseries: window width must be positive and finite")
+	}
+	if cfg.Clock == nil {
+		panic("timeseries: clock required")
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = DefaultRetention
+	}
+	c := &Collector{
+		cfg:  cfg,
+		ring: make([]Snapshot, cfg.Retention),
+	}
+	c.curIdx = c.windowIndex(cfg.Clock.Now())
+	return c
+}
+
+// Window returns the configured window width (0 on nil).
+func (c *Collector) Window() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.Window
+}
+
+func (c *Collector) windowIndex(t float64) uint64 {
+	if t <= 0 {
+		return 0
+	}
+	return uint64(t / c.cfg.Window)
+}
+
+func checkName(name string) {
+	if name == "" {
+		panic("timeseries: empty series name")
+	}
+}
+
+// Histogram registers (or returns) the windowed histogram named name, with
+// log-spaced bucket bounds (nil defaults to DefaultLatencyBuckets). Per
+// window it reports count/sum/mean/min/max and bucketed p50/p95/p99.
+func (c *Collector) Histogram(name string, bounds []float64) *Histogram {
+	if c == nil {
+		return nil
+	}
+	checkName(name)
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("timeseries: histogram bounds not strictly increasing")
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.hists {
+		if s.name == name {
+			return &Histogram{c: c, s: s}
+		}
+	}
+	s := &histSeries{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+	c.hists = append(c.hists, s)
+	return &Histogram{c: c, s: s}
+}
+
+// Rate registers (or returns) the windowed counter named name; each sealed
+// window reports the count and the count divided by the window width.
+func (c *Collector) Rate(name string) *Rate {
+	if c == nil {
+		return nil
+	}
+	checkName(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.rates {
+		if s.name == name {
+			return &Rate{c: c, s: s}
+		}
+	}
+	s := &rateSeries{name: name}
+	c.rates = append(c.rates, s)
+	return &Rate{c: c, s: s}
+}
+
+// Ratio registers (or returns) the windowed ratio named name — a
+// numerator/denominator pair whose per-window value is num/den, reported as
+// 0 (never NaN) when the window saw no denominator events.
+func (c *Collector) Ratio(name string) *Ratio {
+	if c == nil {
+		return nil
+	}
+	checkName(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.ratios {
+		if s.name == name {
+			return &Ratio{c: c, s: s}
+		}
+	}
+	s := &ratioSeries{name: name}
+	c.ratios = append(c.ratios, s)
+	return &Ratio{c: c, s: s}
+}
+
+// Gauge registers (or returns) the windowed gauge named name; each sealed
+// window reports the last/min/max/mean of the values set during it.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	checkName(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.gauges {
+		if s.name == name {
+			return &Gauge{c: c, s: s}
+		}
+	}
+	s := &gaugeSeries{name: name}
+	c.gauges = append(c.gauges, s)
+	return &Gauge{c: c, s: s}
+}
+
+// OnSeal registers a probe that runs once per window, just before the
+// window closes, with the window's nominal end time. Probes run on the
+// owner goroutine and may set gauges and add to rates — the values land in
+// the closing window — which is how per-window network-state sampling
+// (link loads, fragmentation, active lightpaths) hooks in. Register probes
+// before the run starts.
+func (c *Collector) OnSeal(fn func(t float64)) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onSeal = append(c.onSeal, fn)
+	c.mu.Unlock()
+}
+
+// SetSink streams every subsequently sealed window to s. The first write
+// error is retained (SinkErr) and stops further writes, mirroring
+// trace.JSONL: a dead sink costs one failure, not one per window.
+func (c *Collector) SetSink(s Sink) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sink = s
+	c.mu.Unlock()
+}
+
+// SinkErr returns the first error the sink reported, or nil. Non-nil means
+// the exported series on disk is incomplete even though the run finished.
+func (c *Collector) SinkErr() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sinkErr
+}
+
+// Advance rolls the collector forward to time t, sealing every window whose
+// end lies at or before t. The owner goroutine calls it with each event
+// timestamp (sim-time) or periodically (wall-clock). Gaps emit empty
+// windows, so exported curves stay continuous through idle stretches.
+func (c *Collector) Advance(t float64) {
+	if c == nil {
+		return
+	}
+	target := c.windowIndex(t)
+	for {
+		c.mu.Lock()
+		if target <= c.curIdx {
+			c.mu.Unlock()
+			return
+		}
+		sealEnd := float64(c.curIdx+1) * c.cfg.Window
+		probes := c.onSeal
+		c.mu.Unlock()
+		// Probes run unlocked so they can use the public instrument API;
+		// the single-owner contract keeps this safe.
+		for _, fn := range probes {
+			fn(sealEnd)
+		}
+		c.mu.Lock()
+		c.sealLocked()
+		c.mu.Unlock()
+	}
+}
+
+// Tick is Advance(clock.Now()) — the wall-clock driver.
+func (c *Collector) Tick() {
+	if c == nil {
+		return
+	}
+	c.Advance(c.cfg.Clock.Now())
+}
+
+// Seal closes the currently open window even though the clock has not
+// reached its end — the end-of-run flush, so a partial final window still
+// reaches the ring and the sink. Probes run first, as on a normal seal.
+func (c *Collector) Seal() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	sealEnd := float64(c.curIdx+1) * c.cfg.Window
+	probes := c.onSeal
+	c.mu.Unlock()
+	for _, fn := range probes {
+		fn(sealEnd)
+	}
+	c.mu.Lock()
+	c.sealLocked()
+	c.mu.Unlock()
+}
+
+// sealLocked snapshots the open window into the ring (and sink) and opens
+// the next one. Caller holds c.mu.
+func (c *Collector) sealLocked() {
+	snap := Snapshot{
+		Window: c.curIdx,
+		Start:  float64(c.curIdx) * c.cfg.Window,
+		End:    float64(c.curIdx+1) * c.cfg.Window,
+	}
+	for _, s := range c.hists {
+		snap.Hists = append(snap.Hists, s.value())
+		s.reset()
+	}
+	for _, s := range c.rates {
+		snap.Rates = append(snap.Rates, s.value(c.cfg.Window))
+		s.reset()
+	}
+	for _, s := range c.ratios {
+		snap.Ratios = append(snap.Ratios, s.value())
+		s.reset()
+	}
+	for _, s := range c.gauges {
+		snap.Gauges = append(snap.Gauges, s.value())
+		s.reset()
+	}
+	// Byte-stable export ordering regardless of registration order.
+	sort.Slice(snap.Hists, func(i, j int) bool { return snap.Hists[i].Name < snap.Hists[j].Name })
+	sort.Slice(snap.Rates, func(i, j int) bool { return snap.Rates[i].Name < snap.Rates[j].Name })
+	sort.Slice(snap.Ratios, func(i, j int) bool { return snap.Ratios[i].Name < snap.Ratios[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+
+	c.ring[c.ringHead] = snap
+	c.ringHead = (c.ringHead + 1) % len(c.ring)
+	if c.ringLen < len(c.ring) {
+		c.ringLen++
+	}
+	c.sealedTotal++
+	c.curIdx++
+	if c.sink != nil && c.sinkErr == nil {
+		if err := c.sink.WriteSnapshot(&snap); err != nil {
+			c.sinkErr = fmt.Errorf("timeseries: sink: %w", err)
+		}
+	}
+}
+
+// Len returns the number of sealed windows currently retained.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ringLen
+}
+
+// TotalSealed returns how many windows have been sealed over the
+// collector's lifetime (including ones since evicted from the ring).
+func (c *Collector) TotalSealed() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sealedTotal
+}
+
+// Evicted returns how many sealed windows have aged out of the ring.
+func (c *Collector) Evicted() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sealedTotal - uint64(c.ringLen)
+}
+
+// Snapshots returns up to last retained windows, oldest first (all retained
+// windows when last <= 0). The returned snapshots are copies safe to hold.
+func (c *Collector) Snapshots(last int) []Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ringLen
+	if last > 0 && last < n {
+		n = last
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Snapshot, n)
+	// ringHead is the next overwrite slot, i.e. one past the newest entry.
+	start := (c.ringHead - n + len(c.ring)) % len(c.ring)
+	for i := 0; i < n; i++ {
+		out[i] = c.ring[(start+i)%len(c.ring)]
+	}
+	return out
+}
+
+// Latest returns the newest sealed window, or nil when none sealed yet.
+func (c *Collector) Latest() *Snapshot {
+	s := c.Snapshots(1)
+	if len(s) == 0 {
+		return nil
+	}
+	return &s[0]
+}
+
+// DefaultLatencyBuckets is the default histogram bucketing for routing
+// latencies: 1µs → 10s at 9 bounds per decade, so a bucketed quantile
+// over-estimates the exact one by at most 10^(1/9) ≈ 1.29×.
+func DefaultLatencyBuckets() []float64 { return LogBuckets(1e-6, 10, 9) }
+
+// LogBuckets returns log-spaced upper bounds from lo up to and including
+// the first bound ≥ hi, with perDecade bounds per factor of 10.
+func LogBuckets(lo, hi float64, perDecade int) []float64 {
+	if lo <= 0 || hi <= lo || perDecade < 1 {
+		panic("timeseries: invalid log bucket spec")
+	}
+	ratio := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	for b := lo; ; b *= ratio {
+		out = append(out, b)
+		if b >= hi {
+			return out
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DiurnalConfig parameterises DiurnalPoisson: a non-homogeneous Poisson
+// process whose arrival rate swings sinusoidally around MatrixConfig's
+// ArrivalRate,
+//
+//	λ(t) = ArrivalRate · (1 + Amp·sin(2πt/Period)),
+//
+// modelling the day/night cycle of WAN traffic. Endpoints and holding times
+// are drawn exactly as in MatrixPoisson.
+type DiurnalConfig struct {
+	MatrixConfig
+	// Period is the cycle length in sim-time units (must be positive).
+	Period float64
+	// Amp is the relative swing in [0, 1): 0 degenerates to a homogeneous
+	// process, 0.8 swings between 0.2× and 1.8× the base rate.
+	Amp float64
+}
+
+// DiurnalPoisson generates a seeded request stream with a sinusoidal arrival
+// rate via Lewis-Shedler thinning: candidate arrivals are drawn at the peak
+// rate λmax = Base·(1+Amp) and each is kept with probability λ(t)/λmax, which
+// yields exactly the target non-homogeneous process.
+func DiurnalPoisson(c DiurnalConfig) []Request {
+	if c.Matrix == nil || c.Matrix.Nodes() < 2 {
+		panic("workload: matrix required")
+	}
+	if c.ArrivalRate <= 0 || c.MeanHolding <= 0 || c.Count < 0 {
+		panic("workload: invalid DiurnalPoisson parameters")
+	}
+	if c.Period <= 0 || c.Amp < 0 || c.Amp >= 1 {
+		panic("workload: diurnal needs Period > 0 and Amp in [0,1)")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	smp := newSampler(c.Matrix)
+	const paretoAlpha = 2.5
+	paretoXm := c.MeanHolding * (paretoAlpha - 1) / paretoAlpha
+	lambdaMax := c.ArrivalRate * (1 + c.Amp)
+	reqs := make([]Request, 0, c.Count)
+	t := 0.0
+	for len(reqs) < c.Count {
+		t += rng.ExpFloat64() / lambdaMax
+		lambda := c.ArrivalRate * (1 + c.Amp*math.Sin(2*math.Pi*t/c.Period))
+		if rng.Float64()*lambdaMax > lambda {
+			continue // thinned: candidate falls in a low-rate phase
+		}
+		src, dst := smp.draw(rng)
+		var hold float64
+		switch c.Holding {
+		case HoldingDeterministic:
+			hold = c.MeanHolding
+		case HoldingPareto:
+			hold = paretoXm / math.Pow(rng.Float64(), 1/paretoAlpha)
+		default:
+			hold = rng.ExpFloat64() * c.MeanHolding
+		}
+		reqs = append(reqs, Request{ID: len(reqs), Src: src, Dst: dst, Arrival: t, Holding: hold})
+	}
+	return reqs
+}

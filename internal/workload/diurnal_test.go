@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func diurnalCfg(count int, seed int64) DiurnalConfig {
+	return DiurnalConfig{
+		MatrixConfig: MatrixConfig{
+			Matrix: NewUniformMatrix(10), ArrivalRate: 10, MeanHolding: 1,
+			Count: count, Seed: seed,
+		},
+		Period: 100, Amp: 0.8,
+	}
+}
+
+func TestDiurnalPoissonBasics(t *testing.T) {
+	reqs := DiurnalPoisson(diurnalCfg(2000, 4))
+	if len(reqs) != 2000 {
+		t.Fatalf("generated %d requests, want 2000", len(reqs))
+	}
+	last := 0.0
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		if r.Arrival < last {
+			t.Fatal("arrivals not sorted")
+		}
+		last = r.Arrival
+		if r.Src == r.Dst || r.Src < 0 || r.Src >= 10 || r.Dst < 0 || r.Dst >= 10 {
+			t.Fatalf("bad endpoints %d->%d", r.Src, r.Dst)
+		}
+		if r.Holding <= 0 {
+			t.Fatalf("non-positive holding %g", r.Holding)
+		}
+	}
+}
+
+func TestDiurnalPoissonDeterministic(t *testing.T) {
+	a := DiurnalPoisson(diurnalCfg(500, 7))
+	b := DiurnalPoisson(diurnalCfg(500, 7))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := DiurnalPoisson(diurnalCfg(500, 8))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestDiurnalPoissonModulates verifies the thinning actually shapes the rate:
+// arrivals during high-rate phases (sin > 0) must substantially outnumber
+// those in low-rate phases.
+func TestDiurnalPoissonModulates(t *testing.T) {
+	cfg := diurnalCfg(20000, 11)
+	reqs := DiurnalPoisson(cfg)
+	var peak, trough int
+	for _, r := range reqs {
+		if math.Sin(2*math.Pi*r.Arrival/cfg.Period) > 0 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	// With Amp 0.8 the half-cycle rate means are 1±0.51 of base, so the
+	// peak share should approach 75%; 60% is a loose, seed-stable floor.
+	if float64(peak) < 0.6*float64(len(reqs)) {
+		t.Fatalf("peak-phase arrivals %d of %d — rate not modulated", peak, len(reqs))
+	}
+	if trough == 0 {
+		t.Fatal("no trough-phase arrivals at Amp 0.8")
+	}
+}
+
+func TestDiurnalPoissonValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*DiurnalConfig){
+		"zero period": func(c *DiurnalConfig) { c.Period = 0 },
+		"neg amp":     func(c *DiurnalConfig) { c.Amp = -0.1 },
+		"amp one":     func(c *DiurnalConfig) { c.Amp = 1 },
+		"nil matrix":  func(c *DiurnalConfig) { c.Matrix = nil },
+	} {
+		cfg := diurnalCfg(10, 1)
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: DiurnalPoisson did not panic", name)
+				}
+			}()
+			DiurnalPoisson(cfg)
+		}()
+	}
+}
