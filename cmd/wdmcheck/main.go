@@ -28,6 +28,8 @@ func main() {
 	size := flag.Int("size", 7, "max nodes per instance")
 	exact := flag.Bool("exact", false, "compare against exact solvers on eligible instances")
 	routes := flag.Int("routes", 2000, "exact route-enumeration cap")
+	candidates := flag.Int("candidates", 0, "enable the candidate fast-tier arm with k candidate pairs (0 = off)")
+	candGate := flag.Float64("cand-gate", 2, "max candidate/exact cost ratio before the accuracy gate fails")
 	jsonPath := flag.String("json", "", "write the first failure artifact to this file")
 	replay := flag.String("replay", "", "replay an artifact file instead of generating")
 	verbose := flag.Bool("v", false, "print every failure artifact to stderr")
@@ -36,11 +38,13 @@ func main() {
 	cli.HandleVersion(*version)
 
 	cfg := harness.Config{
-		N:         *n,
-		Seed:      *seed,
-		MaxNodes:  *size,
-		Exact:     *exact,
-		MaxRoutes: *routes,
+		N:             *n,
+		Seed:          *seed,
+		MaxNodes:      *size,
+		Exact:         *exact,
+		MaxRoutes:     *routes,
+		Candidates:    *candidates,
+		CandidateGate: *candGate,
 	}
 
 	if *replay != "" {

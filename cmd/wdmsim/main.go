@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -47,6 +48,7 @@ func main() {
 	flightCap := flag.Int("flight", obs.DefaultCapacity, "flight-recorder capacity (last N request traces)")
 	flightOut := flag.String("flight-out", "", "dump the flight recorder as JSONL to this file at end of run")
 	linger := flag.Float64("linger", 0, "keep the -serve endpoints up this many seconds after the run (for probes)")
+	candidates := flag.Int("candidates", 0, "candidate fast tier: precompute k route pairs per node pair and try them before exact routing (0 = off)")
 	soak := flag.Bool("soak", false, "soak mode: collect windowed telemetry and print the latency/blocking curve")
 	window := flag.Float64("window", 5, "telemetry window width in sim-time units")
 	timeseriesOut := flag.String("timeseries-out", "", "stream sealed telemetry windows to this file (.csv → CSV, else JSONL)")
@@ -151,6 +153,11 @@ func main() {
 		ReconfigCooldown:  0.2,
 		Tracer:            tracer,
 		Telemetry:         tel,
+	}
+	if *candidates > 0 {
+		// Build the table up front from the pristine topology — it is
+		// state-independent, so this is a one-time setup cost.
+		simCfg.Opts = &core.Options{CandidateTable: core.NewCandidateTable(net, *candidates)}
 	}
 	var traceRec *trace.JSONL
 	if *tracePath != "" {

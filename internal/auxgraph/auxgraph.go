@@ -23,6 +23,20 @@
 // threshold search or a per-arrival router re-uses one skeleton instead of
 // reallocating the graph for every variant it tries. Build remains the
 // one-shot convenience wrapper (skeleton + one reweight).
+//
+// Two refinements keep the per-request cost flat under dynamic traffic:
+//
+//   - A shared skeleton (NewSharedSkeleton) carries terminal vertices s′_v and
+//     t″_v for every node and enables only the requested pair's terminal edges
+//     per ReweightAt call, so one skeleton serves every (s, t) in the
+//     edge-disjoint regime instead of one build per pair.
+//   - Reweight is incremental: link-edge weights and conversion-pair means are
+//     cached per StateVersion and refreshed through the network's per-link
+//     change journal (wdm.LinkStamp), so a reservation on one link recomputes
+//     only the skeleton edges incident to that link. The cache is sound
+//     because, while TopoVersion is unchanged (the Reweight precondition),
+//     every StateVersion advance stems from an availability mutation that
+//     stamps its link's journal entry.
 package auxgraph
 
 import (
@@ -113,7 +127,8 @@ type Aux struct {
 // Reweight aliases the skeleton: a later Reweight rewrites it in place.
 type Skeleton struct {
 	aux          Aux
-	s, t         int
+	s, t         int // fixed terminals; -1 on shared skeletons
+	shared       bool
 	nodeDisjoint bool
 	topoVersion  uint64
 	m            int // physical link count at build time
@@ -123,17 +138,41 @@ type Skeleton struct {
 	// All conversion pairs, grouped by node in construction order. Plain
 	// pairs carry their conversion edge; pairs funneled through a hub gadget
 	// carry edge -1 and are referenced by their hub's [pairLo, pairHi) range.
-	pairs    []convPair
-	pairOK   []bool    // cached avail-feasibility per pair
-	pairMean []float64 // cached mean conversion cost per pair
-	pairsAt  uint64    // StateVersion the pair cache was computed at
-	pairsOK  bool      // pair cache computed at least once
+	pairs       []convPair
+	pairOK      []bool    // cached avail-feasibility per pair
+	pairMean    []float64 // cached mean conversion cost per pair
+	pairsByLink [][]int32 // pair indices with ein or eout = link, for journal refresh
+	pairsAt     uint64    // StateVersion the pair cache was computed at
+	pairsOK     bool      // pair cache computed at least once
+
+	// Cached link-edge weights, one cache per variant so algorithms that
+	// alternate kinds (MinLoadCost's Load rounds then LoadCost pass) don't
+	// thrash each other. Refreshed per link through the change journal.
+	lw [3]weightCache
 
 	hubs     []hubGadget
-	termOut  []linkEdgeRef // s′ → u_out^e
-	termIn   []linkEdgeRef // v_in^e → t″
+	termOut  []linkEdgeRef // s′ → u_out^e (fixed skeletons)
+	termIn   []linkEdgeRef // v_in^e → t″ (fixed skeletons)
 	spokeIn  []linkEdgeRef // v_in^e → hub_in(v), node-disjoint only
 	spokeOut []linkEdgeRef // hub_out(v) → u_out^e, node-disjoint only
+
+	// Shared-skeleton terminal machinery: per-node terminal vertices and
+	// edge groups, plus the currently enabled pair.
+	termOutNode [][]linkEdgeRef // s′_v → u_out^e, per node
+	termInNode  [][]linkEdgeRef // v_in^e → t″_v, per node
+	srcVertex   []int           // s′_v per node
+	dstVertex   []int           // t″_v per node
+	curS, curT  int             // terminals currently enabled; -1 before first ReweightAt
+}
+
+// weightCache holds one variant's per-link edge weights together with the
+// StateVersion they were computed at; links whose journal stamp exceeds that
+// version are recomputed on the next Reweight, all others are reused.
+type weightCache struct {
+	ok   bool
+	at   uint64
+	base float64 // exponent base the Load weights were computed with
+	w    []float64
 }
 
 type convPair struct {
@@ -171,15 +210,34 @@ func NewSkeleton(net *wdm.Network, s, t int, nodeDisjoint bool) *Skeleton {
 	if s < 0 || s >= net.Nodes() || t < 0 || t >= net.Nodes() {
 		panic("auxgraph: source/destination out of range")
 	}
+	return newSkeleton(net, s, t, nodeDisjoint, false)
+}
+
+// NewSharedSkeleton builds one skeleton that serves every (s, t) pair of the
+// edge-disjoint regime: it carries terminal vertices s′_v and t″_v with their
+// terminal edges for every node, all disabled, and ReweightAt enables exactly
+// the requested pair's terminals per call. Routers use it to amortise
+// skeleton construction across all node pairs of a dynamic workload instead
+// of building (and caching) one skeleton per pair. The node-disjoint variant
+// still needs per-pair skeletons — its hub gadgets exempt s and t — so there
+// is no shared form for it.
+func NewSharedSkeleton(net *wdm.Network) *Skeleton {
+	return newSkeleton(net, -1, -1, false, true)
+}
+
+func newSkeleton(net *wdm.Network, s, t int, nodeDisjoint, shared bool) *Skeleton {
 	defer instr.buildTime.Stop(instr.buildTime.Start())
 	m := net.Links()
 	sk := &Skeleton{
 		s:            s,
 		t:            t,
+		shared:       shared,
 		nodeDisjoint: nodeDisjoint,
 		topoVersion:  net.TopoVersion(),
 		m:            m,
 		linkEdge:     make([]int, m),
+		curS:         -1,
+		curT:         -1,
 	}
 	a := &sk.aux
 	a.net = net
@@ -187,16 +245,28 @@ func NewSkeleton(net *wdm.Network, s, t int, nodeDisjoint bool) *Skeleton {
 	a.inNode = make([]int, m)
 	a.keep = make([]bool, m)
 
-	// Vertex layout: for link e, out-node 2e, in-node 2e+1; then s′ and t″;
-	// then one hub in/out pair per intermediate node when node-disjoint.
+	// Vertex layout: for link e, out-node 2e, in-node 2e+1; then the
+	// terminals — one s′/t″ pair for fixed skeletons, one per node for shared
+	// ones; then one hub in/out pair per intermediate node when node-disjoint.
 	for id := 0; id < m; id++ {
 		a.outNode[id] = 2 * id
 		a.inNode[id] = 2*id + 1
 	}
 	nv := 2 * m
-	a.S = nv
-	a.T = nv + 1
-	nv += 2
+	if shared {
+		sk.srcVertex = make([]int, net.Nodes())
+		sk.dstVertex = make([]int, net.Nodes())
+		for v := range sk.srcVertex {
+			sk.srcVertex[v] = nv
+			sk.dstVertex[v] = nv + 1
+			nv += 2
+		}
+		a.S, a.T = -1, -1 // set by ReweightAt
+	} else {
+		a.S = nv
+		a.T = nv + 1
+		nv += 2
+	}
 	var hubIn, hubOut []int
 	if nodeDisjoint {
 		hubIn = make([]int, net.Nodes())
@@ -261,15 +331,40 @@ func NewSkeleton(net *wdm.Network, s, t int, nodeDisjoint bool) *Skeleton {
 	}
 	sk.pairOK = make([]bool, len(sk.pairs))
 	sk.pairMean = make([]float64, len(sk.pairs))
-
-	// Terminals.
-	for _, e1 := range net.Out(s) {
-		e := a.G.AddEdgeAux(a.S, a.outNode[e1], 0, -1)
-		sk.termOut = append(sk.termOut, linkEdgeRef{edge: e, link: e1})
+	sk.pairsByLink = make([][]int32, m)
+	for i, cp := range sk.pairs {
+		sk.pairsByLink[cp.ein] = append(sk.pairsByLink[cp.ein], int32(i))
+		if cp.eout != cp.ein {
+			sk.pairsByLink[cp.eout] = append(sk.pairsByLink[cp.eout], int32(i))
+		}
 	}
-	for _, e2 := range net.In(t) {
-		e := a.G.AddEdgeAux(a.inNode[e2], a.T, 0, -1)
-		sk.termIn = append(sk.termIn, linkEdgeRef{edge: e, link: e2})
+
+	// Terminals. Shared skeletons get every node's terminal edges, disabled
+	// until a ReweightAt selects the pair; fixed skeletons get s and t only.
+	if shared {
+		sk.termOutNode = make([][]linkEdgeRef, net.Nodes())
+		sk.termInNode = make([][]linkEdgeRef, net.Nodes())
+		for v := 0; v < net.Nodes(); v++ {
+			for _, e1 := range net.Out(v) {
+				e := a.G.AddEdgeAux(sk.srcVertex[v], a.outNode[e1], 0, -1)
+				a.G.Disable(e)
+				sk.termOutNode[v] = append(sk.termOutNode[v], linkEdgeRef{edge: e, link: e1})
+			}
+			for _, e2 := range net.In(v) {
+				e := a.G.AddEdgeAux(a.inNode[e2], sk.dstVertex[v], 0, -1)
+				a.G.Disable(e)
+				sk.termInNode[v] = append(sk.termInNode[v], linkEdgeRef{edge: e, link: e2})
+			}
+		}
+	} else {
+		for _, e1 := range net.Out(s) {
+			e := a.G.AddEdgeAux(a.S, a.outNode[e1], 0, -1)
+			sk.termOut = append(sk.termOut, linkEdgeRef{edge: e, link: e1})
+		}
+		for _, e2 := range net.In(t) {
+			e := a.G.AddEdgeAux(a.inNode[e2], a.T, 0, -1)
+			sk.termIn = append(sk.termIn, linkEdgeRef{edge: e, link: e2})
+		}
 	}
 	instr.builds.Inc()
 	instr.vertices.Observe(float64(a.G.N()))
@@ -286,12 +381,55 @@ func (sk *Skeleton) Valid() bool { return sk.aux.net.TopoVersion() == sk.topoVer
 // place from the network's current residual state and returns the aux-graph
 // view. No vertices or edges are added or removed: dropped links and
 // infeasible conversions are Disabled, everything else Enabled with its
-// variant weight. The expensive availability-dependent conversion means are
-// cached per StateVersion, so a threshold search that only moves ϑ between
-// rounds pays just the O(m + conv-edges) filter pass. It panics when the
-// network structure changed since NewSkeleton (see Valid), when
-// p.NodeDisjoint disagrees with the skeleton, or on an invalid Base.
+// variant weight. The availability-dependent link weights and conversion
+// means are cached per StateVersion and refreshed incrementally through the
+// network's change journal — a reservation on one link recomputes only that
+// link's weight and the conversion pairs incident to it, and a threshold
+// search that only moves ϑ between rounds pays just the O(m + conv-edges)
+// filter pass. It panics when the network structure changed since NewSkeleton
+// (see Valid), when p.NodeDisjoint disagrees with the skeleton, on an invalid
+// Base, or on a shared skeleton (which needs ReweightAt's terminal pair).
 func (sk *Skeleton) Reweight(p Params) *Aux {
+	if sk.shared {
+		panic("auxgraph: shared skeleton has no fixed terminals; use ReweightAt")
+	}
+	return sk.reweight(p)
+}
+
+// ReweightAt selects (s, t) as the active terminal pair of a shared skeleton
+// and reweights: the previous pair's terminal edges are disabled, the
+// requested pair's are enabled (gated by the link filter), and everything
+// else proceeds exactly as Reweight. On a fixed skeleton it accepts only the
+// pair the skeleton was built for.
+func (sk *Skeleton) ReweightAt(s, t int, p Params) *Aux {
+	if !sk.shared {
+		if s != sk.s || t != sk.t {
+			panic("auxgraph: fixed skeleton built for a different (s, t); use NewSharedSkeleton")
+		}
+		return sk.reweight(p)
+	}
+	net := sk.aux.net
+	if s < 0 || s >= net.Nodes() || t < 0 || t >= net.Nodes() {
+		panic("auxgraph: source/destination out of range")
+	}
+	g := sk.aux.G
+	if sk.curS != s && sk.curS >= 0 {
+		for _, r := range sk.termOutNode[sk.curS] {
+			g.Disable(r.edge)
+		}
+	}
+	if sk.curT != t && sk.curT >= 0 {
+		for _, r := range sk.termInNode[sk.curT] {
+			g.Disable(r.edge)
+		}
+	}
+	sk.curS, sk.curT = s, t
+	sk.aux.S = sk.srcVertex[s]
+	sk.aux.T = sk.dstVertex[t]
+	return sk.reweight(p)
+}
+
+func (sk *Skeleton) reweight(p Params) *Aux {
 	if !sk.Valid() {
 		panic("auxgraph: network structure changed since skeleton build; build a new skeleton")
 	}
@@ -311,6 +449,25 @@ func (sk *Skeleton) Reweight(p Params) *Aux {
 	net := sk.aux.net
 	g := sk.aux.G
 	keep := sk.aux.keep
+	sv := net.StateVersion()
+
+	// Refresh this variant's cached link-edge weights: recompute every link
+	// on the first use (or when the Load base moves), only journal-dirty
+	// links afterwards.
+	wc := &sk.lw[p.Kind]
+	if wc.w == nil {
+		wc.w = make([]float64, sk.m)
+	}
+	full := !wc.ok || (p.Kind == Load && wc.base != base)
+	if full || wc.at != sv {
+		for id := 0; id < sk.m; id++ {
+			if !full && net.LinkStamp(id) <= wc.at {
+				continue
+			}
+			wc.w[id] = linkWeight(net.Link(id), p.Kind, base)
+		}
+		wc.ok, wc.at, wc.base = true, sv, base
+	}
 
 	// Link filter + link-edge weights.
 	for id := 0; id < sk.m; id++ {
@@ -331,28 +488,28 @@ func (sk *Skeleton) Reweight(p Params) *Aux {
 			continue
 		}
 		g.Enable(eid)
-		var w float64
-		switch p.Kind {
-		case Cost:
-			w = l.MeanAvailCost()
-		case Load:
-			n := float64(l.N())
-			u := float64(l.U())
-			w = math.Pow(base, (u+1)/n) - math.Pow(base, u/n)
-		case LoadCost:
-			w = l.MeanInstalledCost()
-		}
-		g.SetWeight(eid, w)
+		g.SetWeight(eid, wc.w[id])
 	}
 
-	// Availability-dependent conversion means, recomputed only when the
-	// residual state moved since the last Reweight.
-	if sv := net.StateVersion(); !sk.pairsOK || sk.pairsAt != sv {
+	// Availability-dependent conversion means: full scan on first use, then
+	// only the pairs incident to journal-dirty links.
+	if !sk.pairsOK {
 		for i, cp := range sk.pairs {
 			sk.pairOK[i], sk.pairMean[i] = meanConvCost(net, net.Converter(cp.node), cp.ein, cp.eout)
 		}
 		sk.pairsAt = sv
 		sk.pairsOK = true
+	} else if sk.pairsAt != sv {
+		for id := 0; id < sk.m; id++ {
+			if net.LinkStamp(id) <= sk.pairsAt {
+				continue
+			}
+			for _, i := range sk.pairsByLink[id] {
+				cp := sk.pairs[i]
+				sk.pairOK[i], sk.pairMean[i] = meanConvCost(net, net.Converter(cp.node), cp.ein, cp.eout)
+			}
+		}
+		sk.pairsAt = sv
 	}
 
 	costed := p.Kind == Cost || p.Kind == LoadCost
@@ -405,8 +562,13 @@ func (sk *Skeleton) Reweight(p Params) *Aux {
 	}
 	gate(sk.spokeIn)
 	gate(sk.spokeOut)
-	gate(sk.termOut)
-	gate(sk.termIn)
+	if sk.shared {
+		gate(sk.termOutNode[sk.curS])
+		gate(sk.termInNode[sk.curT])
+	} else {
+		gate(sk.termOut)
+		gate(sk.termIn)
+	}
 
 	instr.reweights.Inc()
 	if p.Trace != nil {
@@ -426,12 +588,33 @@ func (sk *Skeleton) Reweight(p Params) *Aux {
 	return &sk.aux
 }
 
+// linkWeight returns the variant weight of a surviving link edge.
+func linkWeight(l *wdm.Link, kind Kind, base float64) float64 {
+	switch kind {
+	case Cost:
+		return l.MeanAvailCost()
+	case Load:
+		n := float64(l.N())
+		u := float64(l.U())
+		return math.Pow(base, (u+1)/n) - math.Pow(base, u/n)
+	case LoadCost:
+		return l.MeanInstalledCost()
+	}
+	return 0
+}
+
 // installedFeasible reports whether any conversion from a wavelength
 // installed on ein to one installed on eout is allowed at the shared node —
 // the structural superset of meanConvCost's availability test.
 func installedFeasible(net *wdm.Network, conv wdm.Converter, ein, eout int) bool {
 	in := net.Link(ein).Lambda()
 	out := net.Link(eout).Lambda()
+	switch conv.(type) {
+	case *wdm.FullConverter:
+		return !in.Empty() && !out.Empty()
+	case wdm.NoConverter:
+		return in.Intersects(out)
+	}
 	feasible := false
 	in.ForEach(func(la int) bool {
 		out.ForEach(func(lb int) bool {
@@ -453,6 +636,22 @@ func installedFeasible(net *wdm.Network, conv wdm.Converter, ein, eout int) bool
 func meanConvCost(net *wdm.Network, conv wdm.Converter, ein, eout int) (bool, float64) {
 	in := net.Link(ein).Avail()
 	out := net.Link(eout).Avail()
+	// Closed forms for the stock converters replace the O(W²) ordered-pair
+	// scan with word-at-a-time popcounts on the availability bitsets: under
+	// full conversion every ordered pair is allowed (K = |in|·|out|, the
+	// |in ∩ out| identity pairs cost 0), and without conversion only the
+	// identity pairs exist.
+	switch c := conv.(type) {
+	case *wdm.FullConverter:
+		k := in.Count() * out.Count()
+		if k == 0 {
+			return false, 0
+		}
+		ident := in.IntersectCount(out)
+		return true, c.UniformCost() * float64(k-ident) / float64(k)
+	case wdm.NoConverter:
+		return in.Intersects(out), 0
+	}
 	k := 0
 	sum := 0.0
 	in.ForEach(func(la int) bool {

@@ -1,0 +1,53 @@
+//go:build !race
+
+// Allocation-budget regression gate, excluded from -race runs (the
+// detector's instrumentation inflates allocation counts).
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// allocSlack is the tolerated regression over the checked-in budget: a run
+// may exceed its budget by at most 20% before the gate fails. Improvements
+// should be banked by lowering testdata/alloc_budget.json.
+const allocSlack = 1.2
+
+// TestSimAllocBudget runs the dynamic-simulation benchmarks briefly and
+// fails when allocs/op regress ≥20% over testdata/alloc_budget.json — the
+// CI tripwire for the arena/pooling work: a leaked per-arrival allocation
+// costs ≥200 allocs/run here, far beyond the slack.
+func TestSimAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	data, err := os.ReadFile("testdata/alloc_budget.json")
+	if err != nil {
+		t.Fatalf("read budget file: %v", err)
+	}
+	var budgets map[string]int64
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		t.Fatalf("parse budget file: %v", err)
+	}
+	arms := map[string]func(*testing.B){
+		"sim_nsfnet_dynamic":       BenchmarkSimNSFNETDynamic,
+		"sim_nsfnet_dynamic_exact": BenchmarkSimNSFNETDynamicExact,
+	}
+	for name, fn := range arms {
+		budget, ok := budgets[name]
+		if !ok {
+			t.Errorf("%s: no entry in alloc_budget.json", name)
+			continue
+		}
+		res := testing.Benchmark(fn)
+		got := res.AllocsPerOp()
+		limit := int64(float64(budget) * allocSlack)
+		t.Logf("%s: %d allocs/op (budget %d, limit %d)", name, got, budget, limit)
+		if got > limit {
+			t.Errorf("%s: %d allocs/op exceeds budget %d by more than %.0f%%",
+				name, got, budget, (allocSlack-1)*100)
+		}
+	}
+}

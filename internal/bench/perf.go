@@ -70,18 +70,25 @@ func preloadedNSFNET(w int, p float64, seed int64) *wdm.Network {
 	return net
 }
 
-// PerfSuite runs the PR's before/after benchmark trio:
+// PerfSuite runs the before/after benchmark arms:
 //
 //   - route: a single ApproxMinCost request on NSFNET (W=8) — fresh
 //     construction per call vs a warm Router reweighting its cached skeleton.
 //   - mincog: a MinLoad request on a 40%-preloaded NSFNET, where the
 //     threshold search historically rebuilt the auxiliary graph every round.
+//   - candidate: the same warm request through the exact pipeline vs the
+//     precomputed candidate-path fast tier (bitset admission + fixed-route
+//     assignment DP, exact fallback).
 //   - sim: a full dynamic-traffic simulation (200 Poisson arrivals, active
-//     restoration) — the fresh arm forces per-arrival one-shot routing via
-//     Config.RouteFunc, the warm arm uses the simulator's internal Router.
+//     restoration) — the before arm forces per-arrival one-shot routing via
+//     Config.RouteFunc, the after arm is the production configuration:
+//     shared warm router, incremental reweight, pooled sim loop, candidate
+//     tier with a precomputed table.
 //
-// Results are deterministic in outcome (both arms route identically; the
-// differential tests assert it) and differ only in time and allocation.
+// The route/mincog/sim arm definitions match the earlier BENCH_PR*.json
+// files, so after-vs-after across files measures this PR's work. The exact
+// and candidate arms route the same requests; the harness's candidate arm
+// asserts feasibility equality and the cost gate differentially.
 func PerfSuite() []PerfComparison {
 	var out []PerfComparison
 
@@ -129,6 +136,31 @@ func PerfSuite() []PerfComparison {
 	}
 
 	{
+		// Candidate fast tier vs the exact pipeline, both warm, on a
+		// preloaded network (so admission does real feasibility work).
+		net := preloadedNSFNET(8, 0.4, 5)
+		exactR := core.NewRouter(nil)
+		exactR.ApproxMinCost(net, 0, 9)
+		before := measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exactR.ApproxMinCost(net, 0, 9)
+			}
+		})
+		tab := core.NewCandidateTable(net, 4)
+		candR := core.NewRouter(&core.Options{CandidateTable: tab, ReuseResult: true})
+		candR.ApproxMinCost(net, 0, 9)
+		after := measure(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				candR.ApproxMinCost(net, 0, 9)
+			}
+		})
+		out = append(out, compare("route_candidate_tier",
+			"single ApproxMinCost request, 40%-preloaded NSFNET W=8, pair 0->9: exact pipeline vs candidate fast tier", before, after))
+	}
+
+	{
 		reqs := workload.Poisson(workload.PoissonConfig{
 			Nodes: 14, ArrivalRate: 10, MeanHolding: 2, Count: 200, Seed: 7,
 		})
@@ -148,15 +180,20 @@ func PerfSuite() []PerfComparison {
 				sim.Run(reqs)
 			}
 		})
+		tab := core.NewCandidateTable(net, 4)
 		after := measure(func(b *testing.B) {
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sim := netsim.New(net, netsim.Config{Algorithm: netsim.MinCost})
+				sim := netsim.New(net, netsim.Config{
+					Algorithm: netsim.MinCost,
+					Opts:      &core.Options{CandidateTable: tab},
+				})
 				sim.Run(reqs)
 			}
 		})
 		out = append(out, compare("sim_nsfnet_dynamic",
-			"full event-driven sim, NSFNET W=8, 200 Poisson arrivals, active restoration", before, after))
+			"full event-driven sim, NSFNET W=8, 200 Poisson arrivals, active restoration; after = candidate tier + incremental reweight + pooled sim loop", before, after))
 	}
 
 	return out

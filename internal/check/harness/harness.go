@@ -43,6 +43,18 @@ type Config struct {
 	// (default 5).
 	MaxFailures int
 
+	// Candidates, when positive, adds a third routing arm: a stream-long
+	// router with the candidate-path fast tier enabled (k = Candidates). The
+	// arm routes every request on the fresh arm's residual network without
+	// establishing — same state, so its outcome is directly comparable: it
+	// must agree on feasibility (the tier falls back to exact routing rather
+	// than block), satisfy every legality/disjointness invariant, and stay
+	// within CandidateGate of the exact-tier cost on min-cost requests.
+	Candidates int
+	// CandidateGate caps candidate-tier cost / exact-tier cost per min-cost
+	// request (default 2, mirroring the Theorem 2 factor).
+	CandidateGate float64
+
 	// Mutate, when set, corrupts every successful routing result before the
 	// oracle sees it. It exists for fault-injection tests that prove the
 	// harness actually catches bugs (mutation testing); production runs
@@ -78,6 +90,13 @@ func (c *Config) maxFailures() int {
 	return c.MaxFailures
 }
 
+func (c *Config) candidateGate() float64 {
+	if c.CandidateGate <= 0 {
+		return 2
+	}
+	return c.CandidateGate
+}
+
 // Report tallies a run.
 type Report struct {
 	Instances int
@@ -92,7 +111,12 @@ type Report struct {
 	// MaxRatio is the worst observed approx/exact cost ratio (Theorem 2
 	// bounds it by 2 on eligible instances).
 	MaxRatio float64
-	Failures []check.Artifact
+	// CandidateCompared counts candidate-arm comparisons on min-cost
+	// requests; MaxCandidateRatio is the worst candidate/exact cost ratio
+	// seen (gated by Config.CandidateGate).
+	CandidateCompared int
+	MaxCandidateRatio float64
+	Failures          []check.Artifact
 }
 
 // OK reports whether the run saw no violation.
@@ -100,9 +124,13 @@ func (r *Report) OK() bool { return len(r.Failures) == 0 }
 
 // Summary renders the one-line result wdmcheck prints.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("instances=%d ops=%d routed=%d blocked=%d teardowns=%d exact=%d ilp=%d maxRatio=%.4f violations=%d",
+	s := fmt.Sprintf("instances=%d ops=%d routed=%d blocked=%d teardowns=%d exact=%d ilp=%d maxRatio=%.4f violations=%d",
 		r.Instances, r.Ops, r.Routed, r.Blocked, r.Teardowns,
 		r.ExactCompared, r.ILPCompared, r.MaxRatio, len(r.Failures))
+	if r.CandidateCompared > 0 {
+		s += fmt.Sprintf(" candidates=%d candRatio=%.4f", r.CandidateCompared, r.MaxCandidateRatio)
+	}
+	return s
 }
 
 // Run generates cfg.N instances and drives each through RunInstance,
@@ -250,6 +278,47 @@ func checkResult(net *wdm.Network, op check.Op, res *core.Result) error {
 	return nil
 }
 
+// checkCandidate routes op through the candidate-tier router on the SAME
+// residual network the exact arm just saw (route-only, nothing is
+// established) and asserts the tier's accuracy gate: identical feasibility
+// (the tier falls back to exact routing rather than block a servable
+// request), the full per-result invariant set, and — on min-cost requests,
+// where the tier is active — a bounded cost ratio versus the exact-tier
+// pair. On every other algorithm the tier is inert, so the result must match
+// the exact arm field for field.
+func checkCandidate(candR *core.Router, net *wdm.Network, op check.Op, rF *core.Result, okF bool, cfg Config, rep *Report) error {
+	rC, okC := routeWarm(candR, net, op)
+	if okC != okF {
+		return fmt.Errorf("candidate arm ok=%v, exact arm ok=%v (fallback must preserve feasibility)", okC, okF)
+	}
+	if !okF {
+		return nil
+	}
+	if op.Algo != check.AlgoMinCost {
+		if err := diffResults(rF, rC); err != nil {
+			return fmt.Errorf("candidate arm (tier inert for %s): %w", op.Algo, err)
+		}
+		return nil
+	}
+	if err := checkResult(net, op, rC); err != nil {
+		return fmt.Errorf("candidate arm: %w", err)
+	}
+	if rep != nil {
+		rep.CandidateCompared++
+	}
+	if rF.Cost > 1e-9 {
+		ratio := rC.Cost / rF.Cost
+		if rep != nil && ratio > rep.MaxCandidateRatio {
+			rep.MaxCandidateRatio = ratio
+		}
+		if gate := cfg.candidateGate(); ratio > gate+1e-9 {
+			return fmt.Errorf("candidate accuracy gate: candidate cost %g / exact cost %g = %.4f > %g",
+				rC.Cost, rF.Cost, ratio, gate)
+		}
+	}
+	return nil
+}
+
 // exactILPCap gates the ILP cross-check: the branch-and-bound is exponential
 // in the variable count, so only the smallest instances go through it.
 const exactILPCap = 5
@@ -335,6 +404,10 @@ func RunInstance(in *check.Instance, cfg Config, rep *Report) error {
 	}
 	baseAvail := netF.TotalAvailable()
 	warm := core.NewRouter(nil)
+	var candR *core.Router
+	if cfg.Candidates > 0 {
+		candR = core.NewRouter(&core.Options{Candidates: cfg.Candidates})
+	}
 	eligible := in.Eligible()
 
 	type liveConn struct{ fresh, warm *core.Result }
@@ -389,6 +462,11 @@ func RunInstance(in *check.Instance, cfg Config, rep *Report) error {
 			}
 			if cfg.Exact && eligible && op.Algo == check.AlgoMinCost {
 				if err := checkExact(netF, op, rF, okF, cfg, rep); err != nil {
+					return fail(i, op.Algo, err)
+				}
+			}
+			if candR != nil {
+				if err := checkCandidate(candR, netF, op, rF, okF, cfg, rep); err != nil {
 					return fail(i, op.Algo, err)
 				}
 			}

@@ -34,6 +34,29 @@ func TestSoakClean(t *testing.T) {
 	}
 }
 
+// TestCandidateArmSoak turns on the candidate fast-tier arm: every request
+// re-routed through a candidate-mode router on the same residual state, with
+// feasibility equality, the full invariant set, and the accuracy gate
+// asserted per min-cost request.
+func TestCandidateArmSoak(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	rep := Run(Config{N: n, Seed: 1, Candidates: 4})
+	if !rep.OK() {
+		var buf bytes.Buffer
+		_ = rep.Failures[0].Encode(&buf)
+		t.Fatalf("candidate soak found violations: %s\nfirst artifact:\n%s", rep.Summary(), buf.String())
+	}
+	if rep.CandidateCompared == 0 {
+		t.Fatal("candidate arm never compared a min-cost request; wiring is broken")
+	}
+	if rep.MaxCandidateRatio > 2+1e-9 {
+		t.Fatalf("candidate/exact cost ratio %.4f exceeds the accuracy gate", rep.MaxCandidateRatio)
+	}
+}
+
 // TestHarnessCatchesInjectedCostBug is the mutation check: corrupt every
 // routing result's reported cost and require the harness to notice, then
 // shrink the reproduction to a tiny instance. This is what certifies the

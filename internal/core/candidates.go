@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/disjoint"
+	"repro/internal/graph"
+	"repro/internal/lightpath"
+	"repro/internal/wdm"
+)
+
+// CandidateTable holds precomputed edge-disjoint route pairs per (s, t) — the
+// candidate-path fast tier the router tries before the exact auxiliary-graph
+// pipeline. Candidates are generated on a static physical graph whose link
+// weights are the installed-wavelength mean costs Σ_{λ∈Λ(e)} w(e,λ)/N(e):
+// they depend only on the network's structure, never on the residual state,
+// so a table stays valid across reservations and applies equally to Clones of
+// the topology it was built from.
+//
+// Per pair the table stores, in ascending static weight:
+//
+//   - the jointly optimal static pair from Suurballe's algorithm (so the tier
+//     never falls into the trap topologies that defeat greedy two-step
+//     routing), then
+//   - one pair per Yen k-shortest path: the path plus its cheapest
+//     edge-disjoint partner.
+//
+// Admission against the residual network stays exact per candidate: a
+// word-at-a-time bitset availability check rejects dead routes, then the
+// fixed-route wavelength-assignment DP (the Lemma 2 oracle) prices the
+// survivors and the cheapest feasible pair wins. Only the route *choice* is
+// restricted to the cached candidates; when none is feasible the router falls
+// back to the exact tier, so the tier can reduce accuracy only by a bounded
+// route detour, never block a servable request.
+type CandidateTable struct {
+	k      int
+	n      int
+	topoAt uint64
+	pairs  [][]candPair // indexed s*n + t
+	filled []bool
+
+	// Generation scratch; dropped by NewCandidateTable once prefilled, kept
+	// by lazily filled router-owned tables.
+	g  *graph.Graph
+	ws disjoint.Workspace
+}
+
+type candPair struct {
+	route1, route2 []int // physical link IDs, edge-disjoint by construction
+}
+
+// NewCandidateTable builds a table with up to k candidate pairs for every
+// (s, t) of the network. The returned table is immutable — safe to share
+// across concurrent routers via Options.CandidateTable.
+func NewCandidateTable(net *wdm.Network, k int) *CandidateTable {
+	t := newCandidateTable(net, k)
+	for s := 0; s < t.n; s++ {
+		for d := 0; d < t.n; d++ {
+			if s != d {
+				t.fill(s, d)
+			}
+		}
+	}
+	t.g = nil // generation scratch no longer needed; table is now read-only
+	return t
+}
+
+func newCandidateTable(net *wdm.Network, k int) *CandidateTable {
+	if k <= 0 {
+		panic("core: candidate count must be positive")
+	}
+	n := net.Nodes()
+	t := &CandidateTable{
+		k:      k,
+		n:      n,
+		topoAt: net.TopoVersion(),
+		pairs:  make([][]candPair, n*n),
+		filled: make([]bool, n*n),
+		g:      graph.New(n),
+	}
+	for id := 0; id < net.Links(); id++ {
+		l := net.Link(id)
+		if l.N() == 0 {
+			continue // carries nothing; never a candidate hop
+		}
+		t.g.AddEdgeAux(l.From, l.To, staticMeanCost(l), id)
+	}
+	return t
+}
+
+// staticMeanCost is the candidate-generation link weight: the mean cost over
+// installed wavelengths, independent of the residual state.
+func staticMeanCost(l *wdm.Link) float64 {
+	n := l.N()
+	sum := 0.0
+	l.Lambda().ForEach(func(lam int) bool {
+		sum += l.Cost(lam)
+		return true
+	})
+	return sum / float64(n)
+}
+
+// valid reports whether the table may serve net: same structure version and
+// node count as the network it was built from (which includes Clones, since
+// cloning preserves TopoVersion).
+func (t *CandidateTable) valid(net *wdm.Network) bool {
+	return net.TopoVersion() == t.topoAt && net.Nodes() == t.n
+}
+
+// lookup returns the candidate pairs for (s, t), generating them on first
+// use when the table still owns its generation scratch.
+func (t *CandidateTable) lookup(s, d int) []candPair {
+	if s == d || s < 0 || d < 0 || s >= t.n || d >= t.n {
+		return nil
+	}
+	idx := s*t.n + d
+	if !t.filled[idx] {
+		if t.g == nil {
+			return nil
+		}
+		t.fill(s, d)
+	}
+	return t.pairs[idx]
+}
+
+func (t *CandidateTable) fill(s, d int) {
+	idx := s*t.n + d
+	if t.filled[idx] {
+		return
+	}
+	t.filled[idx] = true
+	t.pairs[idx] = t.generate(s, d)
+}
+
+// generate derives up to k edge-disjoint route pairs for (s, d) on the
+// static graph.
+func (t *CandidateTable) generate(s, d int) []candPair {
+	var out []candPair
+	add := func(e1, e2 []int) {
+		r1 := t.edgesToLinks(nil, e1)
+		r2 := t.edgesToLinks(nil, e2)
+		for _, cp := range out {
+			if (equalRoute(cp.route1, r1) && equalRoute(cp.route2, r2)) ||
+				(equalRoute(cp.route1, r2) && equalRoute(cp.route2, r1)) {
+				return
+			}
+		}
+		out = append(out, candPair{route1: r1, route2: r2})
+	}
+	if pr, ok := t.ws.Suurballe(t.g, s, d); ok {
+		add(pr.Path1, pr.Path2)
+	}
+	for _, p1 := range t.g.Yen(s, d, t.k) {
+		if len(out) >= t.k {
+			break
+		}
+		for _, e := range p1 {
+			t.g.Disable(e)
+		}
+		sp := t.g.Dijkstra(s)
+		var p2 []int
+		if sp.Reached(d) {
+			p2 = sp.PathTo(d, t.g)
+		}
+		for _, e := range p1 {
+			t.g.Enable(e)
+		}
+		if p2 == nil {
+			continue
+		}
+		add(p1, p2)
+	}
+	return out
+}
+
+func (t *CandidateTable) edgesToLinks(buf []int, edges []int) []int {
+	for _, e := range edges {
+		buf = append(buf, t.g.Edge(e).Aux)
+	}
+	return buf
+}
+
+func equalRoute(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// candScratch is the router-owned admission state of the candidate tier: one
+// wavelength-assignment workspace plus double-buffered hop storage, so
+// evaluating k candidates allocates nothing warm.
+type candScratch struct {
+	aw    lightpath.AssignWorkspace
+	cur   [2][]wdm.Hop
+	best  [2][]wdm.Hop
+	bestC [2]float64
+}
+
+// candidateTable returns the active candidate table for net, or nil when the
+// fast tier is off. A table supplied via Options is used as long as it is
+// valid for net; otherwise, with Options.Candidates > 0, the router builds
+// and keeps its own lazily filled table.
+func (r *Router) candidateTable(net *wdm.Network) *CandidateTable {
+	if t := r.opts.candidateTable(); t != nil && t.valid(net) {
+		return t
+	}
+	k := r.opts.candidates()
+	if k <= 0 {
+		return nil
+	}
+	r.rebind(net)
+	if r.candTab == nil || !r.candTab.valid(net) {
+		r.candTab = newCandidateTable(net, k)
+	}
+	return r.candTab
+}
+
+// routeAvailable is the word-at-a-time admission pre-check: every link of the
+// route must still have an available wavelength. The assignment DP then
+// settles exact conversion feasibility and cost for survivors.
+func routeAvailable(net *wdm.Network, route []int) bool {
+	for _, id := range route {
+		if net.Link(id).Avail().Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateRoute runs the fast tier for (s, t). ok=false means the tier
+// declines — no candidates cached for the pair, or none feasible on the
+// current residual state — and the caller falls back to the exact pipeline.
+func (r *Router) candidateRoute(net *wdm.Network, s, t int, tab *CandidateTable) (*Result, bool) {
+	cands := tab.lookup(s, t)
+	if len(cands) == 0 {
+		return nil, false
+	}
+	cs := &r.cand
+	found := false
+	bestCost := math.Inf(1)
+	for ci := range cands {
+		cp := &cands[ci]
+		if !routeAvailable(net, cp.route1) || !routeAvailable(net, cp.route2) {
+			continue
+		}
+		h1, c1, ok := lightpath.AssignInto(&cs.aw, net, cp.route1, cs.cur[0])
+		cs.cur[0] = h1
+		if !ok {
+			continue
+		}
+		h2, c2, ok := lightpath.AssignInto(&cs.aw, net, cp.route2, cs.cur[1])
+		cs.cur[1] = h2
+		if !ok {
+			continue
+		}
+		if total := c1 + c2; total < bestCost {
+			found = true
+			bestCost = total
+			cs.cur, cs.best = cs.best, cs.cur // winner's hops now live in best
+			cs.bestC = [2]float64{c1, c2}
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	var res *Result
+	var p1, p2 *wdm.Semilightpath
+	if r.opts.reuseResult() {
+		ar := &r.arena
+		ar.res = Result{}
+		res = &ar.res
+		ar.sl[0].Hops = cs.best[0]
+		ar.sl[1].Hops = cs.best[1]
+		p1, p2 = &ar.sl[0], &ar.sl[1]
+	} else {
+		res = &Result{}
+		p1 = &wdm.Semilightpath{Hops: append([]wdm.Hop(nil), cs.best[0]...)}
+		p2 = &wdm.Semilightpath{Hops: append([]wdm.Hop(nil), cs.best[1]...)}
+	}
+	c1, c2 := cs.bestC[0], cs.bestC[1]
+	// Order so the cheaper path serves as primary, as the exact tier does.
+	if c2 < c1 {
+		p1, p2 = p2, p1
+	}
+	res.Primary, res.Backup = p1, p2
+	res.Cost = bestCost
+	res.NaiveCost = bestCost
+	res.PathLoad = pathLoad(net, p1, p2)
+	return res, true
+}

@@ -37,6 +37,25 @@ type Options struct {
 	// NoRefine skips the Lemma 2 refinement and keeps a first-fit
 	// wavelength assignment on the mapped routes (ablation switch).
 	NoRefine bool
+	// Candidates enables the precomputed candidate-path fast tier for
+	// ApproxMinCost: up to k Yen-derived edge-disjoint route pairs per
+	// (s, t), generated once from static installed-wavelength weights and
+	// cached on the Router, are tried with bitset feasibility checks and
+	// per-route optimal wavelength assignment before falling back to the
+	// exact auxiliary-graph pipeline. 0 disables the tier.
+	Candidates int
+	// CandidateTable supplies a pre-built candidate table (NewCandidateTable)
+	// shared across routers; it enables the fast tier regardless of
+	// Candidates. A prefilled table is read-only, so concurrent routers may
+	// share one. It must have been built from the same network the routing
+	// calls use, or from a Clone ancestor with identical structure.
+	CandidateTable *CandidateTable
+	// ReuseResult makes routing calls return Results that alias buffers owned
+	// by the Router: the Result, its Semilightpaths and their hop slices are
+	// overwritten by the next routing call on the same Router. Callers that
+	// consume or copy routes immediately (the simulator's arrival loop) set
+	// this to route allocation-free; callers that retain Results must not.
+	ReuseResult bool
 }
 
 func (o *Options) base() float64 {
@@ -54,6 +73,22 @@ func (o *Options) maxIter() int {
 }
 
 func (o *Options) noRefine() bool { return o != nil && o.NoRefine }
+
+func (o *Options) reuseResult() bool { return o != nil && o.ReuseResult }
+
+func (o *Options) candidates() int {
+	if o == nil {
+		return 0
+	}
+	return o.Candidates
+}
+
+func (o *Options) candidateTable() *CandidateTable {
+	if o == nil {
+		return nil
+	}
+	return o.CandidateTable
+}
 
 // Result is a routed request: two edge-disjoint semilightpaths plus the
 // diagnostics the experiments record.
@@ -113,31 +148,94 @@ func firstFit(net *wdm.Network, route []int) (*wdm.Semilightpath, float64) {
 	return p, c
 }
 
+// firstFitInto is firstFit with caller-owned storage: the hop sequence goes
+// into *buf (grown as needed) and the semilightpath header into sl.
+func firstFitInto(net *wdm.Network, route []int, sl *wdm.Semilightpath, buf *[]wdm.Hop) (*wdm.Semilightpath, float64) {
+	hops := (*buf)[:0]
+	for _, id := range route {
+		lam := net.Link(id).Avail().Min()
+		if lam < 0 {
+			return nil, math.Inf(1)
+		}
+		hops = append(hops, wdm.Hop{Link: id, Wavelength: lam})
+	}
+	*buf = hops
+	sl.Hops = hops
+	c := sl.Cost(net)
+	if math.IsInf(c, 1) { // disallowed conversion surfaces as +Inf ConvCost
+		return nil, math.Inf(1)
+	}
+	return sl, c
+}
+
+// resultArena is the Router-owned storage behind Options.ReuseResult: the
+// Result, the semilightpath headers for the naive and refined assignment of
+// both paths, and every hop/route buffer the refinement writes. One routing
+// call's output occupies it until the next call.
+type resultArena struct {
+	res   Result
+	sl    [4]wdm.Semilightpath // [2i] = naive, [2i+1] = refined, per path i
+	hops  [4][]wdm.Hop
+	route [2][]int
+	aw    lightpath.AssignWorkspace
+}
+
 // mapAndRefine converts an auxiliary pair into two semilightpaths. Each aux
 // path is mapped to its physical route; the Lemma 2 refinement then finds
 // the optimal wavelength assignment on that route (the optimal semilightpath
 // of the induced subgraph G_i, whose links are exactly the route's links).
 // ok is false when neither refinement nor first-fit yields a feasible
 // assignment for one of the routes (possible only with restricted
-// converters).
-func mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, opts *Options, tc *obs.Trace) (*Result, bool) {
+// converters). Under Options.ReuseResult everything returned lives in the
+// router's arena; otherwise it is freshly allocated.
+func (r *Router) mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.Pair, tc *obs.Trace) (*Result, bool) {
 	defer instr.phaseRefine.Stop(instr.phaseRefine.Start())
-	res := &Result{AuxWeight: pair.Weight}
-	paths := make([]*wdm.Semilightpath, 2)
+	reuse := r.opts.reuseResult()
+	ar := &r.arena
+	var res *Result
+	if reuse {
+		ar.res = Result{AuxWeight: pair.Weight}
+		res = &ar.res
+	} else {
+		res = &Result{AuxWeight: pair.Weight}
+	}
+	var paths [2]*wdm.Semilightpath
 	naiveTotal := 0.0
-	for i, auxPath := range [][]int{pair.Path1, pair.Path2} {
+	for i, auxPath := range [2][]int{pair.Path1, pair.Path2} {
 		sp := tc.Begin("refine") // one span per G_i (primary, then backup)
-		route := a.MapPath(auxPath)
+		var route []int
+		if reuse {
+			ar.route[i] = a.AppendMapPath(ar.route[i][:0], auxPath)
+			route = ar.route[i]
+		} else {
+			route = a.MapPath(auxPath)
+		}
 		if len(route) == 0 {
 			tc.EndSpan(sp)
 			return nil, false
 		}
-		naive, nc := firstFit(net, route)
+		var (
+			naive, refined *wdm.Semilightpath
+			nc, rc         float64
+			okR            bool
+		)
+		if reuse {
+			naive, nc = firstFitInto(net, route, &ar.sl[2*i], &ar.hops[2*i])
+			var hops []wdm.Hop
+			hops, rc, okR = lightpath.AssignInto(&ar.aw, net, route, ar.hops[2*i+1])
+			ar.hops[2*i+1] = hops
+			if okR {
+				ar.sl[2*i+1].Hops = hops
+				refined = &ar.sl[2*i+1]
+			}
+		} else {
+			naive, nc = firstFit(net, route)
+			refined, rc, okR = lightpath.AssignWavelengths(net, route)
+		}
 		naiveTotal += nc
-		refined, rc, okR := lightpath.AssignWavelengths(net, route)
 		fallback := false
 		switch {
-		case opts.noRefine() && naive != nil:
+		case r.opts.noRefine() && naive != nil:
 			paths[i] = naive
 			res.Cost += nc
 		case okR:

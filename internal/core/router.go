@@ -27,10 +27,15 @@ import (
 // TopoVersion. A Router is not safe for concurrent use; give each goroutine
 // its own (e.g. one per parallel.MapWithState worker).
 type Router struct {
-	opts  *Options
-	net   *wdm.Network
-	ws    disjoint.Workspace
-	skels map[skelKey]*auxgraph.Skeleton
+	opts   *Options
+	net    *wdm.Network
+	ws     disjoint.Workspace
+	skels  map[skelKey]*auxgraph.Skeleton // node-disjoint skeletons, per (s, t)
+	shared *auxgraph.Skeleton             // one all-terminal skeleton for every edge-disjoint pair
+
+	candTab *CandidateTable // lazily built when Options.Candidates > 0
+	cand    candScratch
+	arena   resultArena
 
 	tracer  *obs.Tracer
 	lastReq int64 // request ID of the most recent traced call (-1 when untraced)
@@ -39,6 +44,17 @@ type Router struct {
 type skelKey struct {
 	s, t         int
 	nodeDisjoint bool
+}
+
+// rebind points the router at net, dropping network-bound caches when the
+// router was previously serving a different one.
+func (r *Router) rebind(net *wdm.Network) {
+	if r.net != net {
+		r.net = net
+		clear(r.skels)
+		r.shared = nil
+		r.candTab = nil
+	}
 }
 
 // NewRouter returns a Router with the given options (nil for defaults).
@@ -102,13 +118,23 @@ func (r *Router) finish(tc *obs.Trace, net *wdm.Network, res *Result, ok, loadAu
 	tc.Finish(obs.StatusOK)
 }
 
-// skeleton returns a valid cached skeleton for (s, t), building one on the
-// first request for the pair, after a rebind to a different network, or after
-// a structural network change.
+// skeleton returns a valid cached skeleton for (s, t), building one on
+// demand, after a rebind to a different network, or after a structural
+// network change. Edge-disjoint requests share a single all-terminal
+// skeleton whose ReweightAt selects the pair; node-disjoint requests keep
+// per-(s, t) skeletons, since the hub gadgets exempt s and t.
 func (r *Router) skeleton(net *wdm.Network, s, t int, nodeDisjoint bool, tc *obs.Trace) *auxgraph.Skeleton {
-	if r.net != net {
-		r.net = net
-		clear(r.skels)
+	r.rebind(net)
+	if !nodeDisjoint {
+		if r.shared == nil || !r.shared.Valid() {
+			sp := tc.Begin("skeleton-build")
+			r.shared = auxgraph.NewSharedSkeleton(net)
+			tc.EndSpan(sp)
+			tc.Str("skeleton", "build")
+		} else {
+			tc.Str("skeleton", "cache-hit")
+		}
+		return r.shared
 	}
 	if r.skels == nil {
 		r.skels = make(map[skelKey]*auxgraph.Skeleton)
@@ -128,11 +154,25 @@ func (r *Router) skeleton(net *wdm.Network, s, t int, nodeDisjoint bool, tc *obs
 }
 
 // ApproxMinCost routes (s, t) per §3.3 — see the package-level ApproxMinCost.
+// When the candidate-path fast tier is enabled (Options.Candidates or
+// Options.CandidateTable) it is tried first; the exact auxiliary-graph
+// pipeline runs only when no cached candidate pair is currently feasible.
 func (r *Router) ApproxMinCost(net *wdm.Network, s, t int) (*Result, bool) {
 	instr.routeCalls.Inc()
 	tc := r.begin("min-cost", s, t)
+	if tab := r.candidateTable(net); tab != nil {
+		if res, ok := r.candidateRoute(net, s, t, tab); ok {
+			instr.routeFound.Inc()
+			instr.candidateHits.Inc()
+			tc.Str("tier", "candidate")
+			r.finish(tc, net, res, true, false)
+			return res, true
+		}
+		instr.candidateFallbacks.Inc()
+		tc.Str("tier", "exact-fallback")
+	}
 	tb := instr.phaseBuild.Start()
-	a := r.skeleton(net, s, t, false, tc).Reweight(auxgraph.Params{Kind: auxgraph.Cost, Trace: tc})
+	a := r.skeleton(net, s, t, false, tc).ReweightAt(s, t, auxgraph.Params{Kind: auxgraph.Cost, Trace: tc})
 	instr.phaseBuild.Stop(tb)
 	td := instr.phaseDisjoint.Start()
 	pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
@@ -141,7 +181,7 @@ func (r *Router) ApproxMinCost(net *wdm.Network, s, t int) (*Result, bool) {
 		r.finish(tc, net, nil, false, false)
 		return nil, false
 	}
-	res, ok := mapAndRefine(net, a, pair, r.opts, tc)
+	res, ok := r.mapAndRefine(net, a, pair, tc)
 	if ok {
 		instr.routeFound.Inc()
 	}
@@ -164,7 +204,7 @@ func (r *Router) ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int) (*Result,
 		r.finish(tc, net, nil, false, false)
 		return nil, false
 	}
-	res, ok := mapAndRefine(net, a, pair, r.opts, tc)
+	res, ok := r.mapAndRefine(net, a, pair, tc)
 	if !ok {
 		r.finish(tc, net, nil, false, false)
 		return nil, false
@@ -203,7 +243,7 @@ func (r *Router) minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, tc
 	}
 	sk := r.skeleton(net, s, t, false, tc)
 	try := func(theta float64) (*auxgraph.Aux, *disjoint.Pair, bool) {
-		a := sk.Reweight(auxgraph.Params{Kind: kind, Threshold: theta, Base: r.opts.base(), Trace: tc})
+		a := sk.ReweightAt(s, t, auxgraph.Params{Kind: kind, Threshold: theta, Base: r.opts.base(), Trace: tc})
 		pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
 		return a, pair, ok
 	}
@@ -250,7 +290,7 @@ func (r *Router) MinLoad(net *wdm.Network, s, t int) (*Result, bool) {
 		r.finish(tc, net, nil, false, true)
 		return nil, false
 	}
-	res, ok := mapAndRefine(net, a, pair, r.opts, tc)
+	res, ok := r.mapAndRefine(net, a, pair, tc)
 	if !ok {
 		r.finish(tc, net, nil, false, true)
 		return nil, false
@@ -273,7 +313,7 @@ func (r *Router) MinLoadCost(net *wdm.Network, s, t int) (*Result, bool) {
 	}
 	sk := r.skeleton(net, s, t, false, tc)
 	tb := instr.phaseBuild.Start()
-	a := sk.Reweight(auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: theta, Base: r.opts.base(), Trace: tc})
+	a := sk.ReweightAt(s, t, auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: theta, Base: r.opts.base(), Trace: tc})
 	instr.phaseBuild.Stop(tb)
 	td := instr.phaseDisjoint.Start()
 	pair, ok := r.ws.Suurballe(a.G, a.S, a.T)
@@ -281,14 +321,14 @@ func (r *Router) MinLoadCost(net *wdm.Network, s, t int) (*Result, bool) {
 	if !ok {
 		// ϑ was certified feasible on the identical G_c skeleton; reaching
 		// here means numerics only. Fall back to the full residual graph.
-		a = sk.Reweight(auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: math.Inf(1), Trace: tc})
+		a = sk.ReweightAt(s, t, auxgraph.Params{Kind: auxgraph.LoadCost, Threshold: math.Inf(1), Trace: tc})
 		pair, ok = r.ws.Suurballe(a.G, a.S, a.T)
 		if !ok {
 			r.finish(tc, net, nil, false, false)
 			return nil, false
 		}
 	}
-	res, ok := mapAndRefine(net, a, pair, r.opts, tc)
+	res, ok := r.mapAndRefine(net, a, pair, tc)
 	if !ok {
 		r.finish(tc, net, nil, false, false)
 		return nil, false
@@ -337,7 +377,7 @@ func (r *Router) OptimalLoadOracle(net *wdm.Network, s, t int) (float64, bool) {
 	for _, c := range cands {
 		// Exact filter: keep exactly the links whose post-routing ratio
 		// (U+1)/N stays within the candidate cap.
-		a := sk.Reweight(auxgraph.Params{
+		a := sk.ReweightAt(s, t, auxgraph.Params{
 			Kind: auxgraph.Load,
 			Filter: func(id int) bool {
 				l := net.Link(id)

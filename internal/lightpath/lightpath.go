@@ -154,19 +154,43 @@ func OptimalInSubgraph(g *wdm.Network, s, t int, links map[int]bool) (*wdm.Semil
 // This is the oracle used by the exhaustive exact solver: once the two
 // edge-disjoint routes are fixed, wavelength assignment decomposes per path.
 func AssignWavelengths(g *wdm.Network, route []int) (*wdm.Semilightpath, float64, bool) {
-	if len(route) == 0 {
+	var ws AssignWorkspace
+	hops, cost, ok := AssignInto(&ws, g, route, nil)
+	if !ok {
 		return nil, math.Inf(1), false
 	}
+	return &wdm.Semilightpath{Hops: hops}, cost, true
+}
+
+// AssignWorkspace holds the DP state AssignInto reuses across calls. The zero
+// value is ready; buffers grow to the largest route length × W seen.
+type AssignWorkspace struct {
+	dp, ndp []float64
+	prev    []int32 // prev[i*w+lam] = predecessor wavelength of hop i at λ=lam
+}
+
+// AssignInto is AssignWavelengths with caller-owned storage: the DP state
+// lives in ws and the hop sequence is written into hops (grown if needed), so
+// a warm call allocates nothing. The returned slice aliases hops' backing
+// array; wrap it in a Semilightpath or copy it out as needed.
+func AssignInto(ws *AssignWorkspace, g *wdm.Network, route []int, hops []wdm.Hop) ([]wdm.Hop, float64, bool) {
+	if len(route) == 0 {
+		return hops[:0], math.Inf(1), false
+	}
 	w := g.W()
+	if cap(ws.dp) < w {
+		ws.dp = make([]float64, w)
+		ws.ndp = make([]float64, w)
+	}
 	// dp[lam] = best cost of the prefix ending with wavelength lam on the
 	// current link.
-	dp := make([]float64, w)
-	prev := make([][]int, len(route)) // prev[i][lam] = predecessor wavelength
+	dp, ndp := ws.dp[:w], ws.ndp[:w]
+	if cap(ws.prev) < len(route)*w {
+		ws.prev = make([]int32, len(route)*w)
+	}
+	prev := ws.prev[:len(route)*w]
 	for i := range prev {
-		prev[i] = make([]int, w)
-		for j := range prev[i] {
-			prev[i][j] = -1
-		}
+		prev[i] = -1
 	}
 	for lam := 0; lam < w; lam++ {
 		dp[lam] = math.Inf(1)
@@ -176,17 +200,17 @@ func AssignWavelengths(g *wdm.Network, route []int) (*wdm.Semilightpath, float64
 		dp[lam] = first.Cost(lam)
 		return true
 	})
-	ndp := make([]float64, w)
 	for i := 1; i < len(route); i++ {
 		l := g.Link(route[i])
 		prevLink := g.Link(route[i-1])
 		if prevLink.To != l.From {
-			return nil, math.Inf(1), false // not a connected route
+			return hops[:0], math.Inf(1), false // not a connected route
 		}
 		conv := g.Converter(l.From)
 		for lam := 0; lam < w; lam++ {
 			ndp[lam] = math.Inf(1)
 		}
+		row := prev[i*w : (i+1)*w]
 		l.Avail().ForEach(func(nlam int) bool {
 			base := l.Cost(nlam)
 			for lam := 0; lam < w; lam++ {
@@ -202,7 +226,7 @@ func AssignWavelengths(g *wdm.Network, route []int) (*wdm.Semilightpath, float64
 				}
 				if c := dp[lam] + cc + base; c < ndp[nlam] {
 					ndp[nlam] = c
-					prev[i][nlam] = lam
+					row[nlam] = int32(lam)
 				}
 			}
 			return true
@@ -218,13 +242,17 @@ func AssignWavelengths(g *wdm.Network, route []int) (*wdm.Semilightpath, float64
 		}
 	}
 	if bestLam < 0 {
-		return nil, math.Inf(1), false
+		return hops[:0], math.Inf(1), false
 	}
-	hops := make([]wdm.Hop, len(route))
+	if cap(hops) < len(route) {
+		hops = make([]wdm.Hop, len(route))
+	} else {
+		hops = hops[:len(route)]
+	}
 	lam := bestLam
 	for i := len(route) - 1; i >= 0; i-- {
 		hops[i] = wdm.Hop{Link: route[i], Wavelength: lam}
-		lam = prev[i][lam]
+		lam = int(prev[i*w+lam])
 	}
-	return &wdm.Semilightpath{Hops: hops}, best, true
+	return hops, best, true
 }

@@ -15,6 +15,7 @@ type Network struct {
 	scratch      int
 	stateVersion uint64
 	topoVersion  uint64
+	stamp        []uint64
 }
 
 func (g *Network) bumpState() { g.stateVersion++ }
@@ -22,6 +23,18 @@ func (g *Network) bumpState() { g.stateVersion++ }
 func (g *Network) bumpTopo() {
 	g.topoVersion++
 	g.stateVersion++
+}
+
+func (g *Network) touchLink(i int) {
+	g.bumpState()
+	g.stamp[i] = g.stateVersion
+}
+
+func (g *Network) touchAll() {
+	g.bumpState()
+	for i := range g.stamp {
+		g.stamp[i] = g.stateVersion
+	}
 }
 
 // Links is a getter: no mutation, no bump required.
@@ -64,6 +77,33 @@ func (g *Network) Mutate(i int) {
 // Reserve delegates to a checked sibling: clean (the callee bumps).
 func (g *Network) Reserve(i int) {
 	g.UseGood(i)
+}
+
+// UseStamped mutates availability and stamps the link journal (touchLink
+// bumps transitively): clean.
+func (g *Network) UseStamped(i int) {
+	g.avail.Add(i)
+	g.touchLink(i)
+}
+
+// ResetAll mutates availability and stamps every row: clean.
+func (g *Network) ResetAll() {
+	g.avail.Add(0)
+	g.touchAll()
+}
+
+// AvailBumpOnly mutates availability but only bumps the aggregate counter,
+// so the per-link journal misses the change: finding.
+func (g *Network) AvailBumpOnly(i int) {
+	g.avail.Add(i)
+	g.bumpState()
+}
+
+// AvailStructural mutates availability under a topology bump, which
+// invalidates cached weights wholesale: clean.
+func (g *Network) AvailStructural(i int) {
+	g.avail.Add(i)
+	g.bumpTopo()
 }
 
 // SetScratch writes a field no cache reads; the suppression records why.

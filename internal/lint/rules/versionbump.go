@@ -12,9 +12,15 @@ import (
 // change counters by calling bumpState or bumpTopo (auxgraph.Skeleton and the
 // Router's per-pair caches are valid exactly while the version they were
 // computed at still matches — a missed bump silently serves stale routes).
+//
+// It also guards the per-link change journal that the incremental reweight
+// path reads: a method that mutates wavelength availability must stamp the
+// journal (touchLink/touchAll) rather than only bumping the aggregate
+// counter, otherwise cached link weights are refreshed for the wrong links —
+// the SetSRLG bug shape, one invalidation layer down.
 var VersionBump = &lint.Analyzer{
 	Name: "versionbump",
-	Doc:  "exported wdm.Network methods that mutate state must call bumpState/bumpTopo",
+	Doc:  "exported wdm.Network methods that mutate state must call bumpState/bumpTopo, and availability writes must stamp the link journal",
 	Run:  runVersionBump,
 }
 
@@ -25,9 +31,16 @@ const (
 
 var (
 	// vbBumps are the methods (and raw counter fields) that count as
-	// advancing a version.
-	vbBumps  = map[string]bool{"bumpState": true, "bumpTopo": true}
+	// advancing a version. touchLink/touchAll bump transitively: they call
+	// bumpState before stamping the journal.
+	vbBumps  = map[string]bool{"bumpState": true, "bumpTopo": true, "touchLink": true, "touchAll": true}
 	vbFields = map[string]bool{"stateVersion": true, "topoVersion": true}
+	// vbStamps are the calls that record an availability change in the
+	// per-link journal. bumpTopo counts: a structural change invalidates
+	// cached weights wholesale, so no per-link stamp is needed.
+	vbStamps = map[string]bool{"touchLink": true, "touchAll": true, "bumpTopo": true}
+	// vbStampFields are the raw fields whose write equals a journal stamp.
+	vbStampFields = map[string]bool{"stamp": true, "topoVersion": true}
 	// vbMutators are method names that mutate a container reached from the
 	// receiver (bitset and slice surgery on links and availability sets).
 	vbMutators = map[string]bool{
@@ -56,20 +69,36 @@ func runVersionBump(p *lint.Pass) {
 			if recvObj == nil {
 				continue
 			}
-			writes, bumps := scanNetworkMethod(p, fd.Body, recvObj)
-			if writes && !bumps {
+			res := scanNetworkMethod(p, fd.Body, recvObj)
+			if res.writes && !res.bumps {
 				p.Reportf(fd.Name.Pos(),
 					"%s.%s mutates network state without calling bumpState or bumpTopo; cached skeletons will serve stale routes",
+					vbType, fd.Name.Name)
+			}
+			if res.availWrites && res.bumps && !res.stamps {
+				p.Reportf(fd.Name.Pos(),
+					"%s.%s mutates wavelength availability without stamping the link journal; use touchLink/touchAll so incremental reweight sees the change",
 					vbType, fd.Name.Name)
 			}
 		}
 	}
 }
 
+// vbScan is what a method-body walk observed: rooted state writes, version
+// bumps, availability mutations, and journal stamps.
+type vbScan struct {
+	writes      bool
+	bumps       bool
+	availWrites bool
+	stamps      bool
+}
+
 // scanNetworkMethod walks a method body tracking which local variables alias
 // state reachable from the receiver ("rooted" values) and reports whether the
-// body writes such state and whether it advances a version counter.
-func scanNetworkMethod(p *lint.Pass, body *ast.BlockStmt, recv types.Object) (writes, bumps bool) {
+// body writes such state, whether it advances a version counter, and — for
+// writes that go through an availability set — whether it stamps the
+// per-link change journal.
+func scanNetworkMethod(p *lint.Pass, body *ast.BlockStmt, recv types.Object) (res vbScan) {
 	rooted := map[types.Object]bool{recv: true}
 
 	isRooted := func(e ast.Expr) bool {
@@ -104,18 +133,38 @@ func scanNetworkMethod(p *lint.Pass, body *ast.BlockStmt, recv types.Object) (wr
 			}
 		}
 	}
+	// selName returns the trailing field name of a selector lvalue, "" for
+	// other shapes. Used to recognise `.avail` containers and `.stamp` rows.
+	selName := func(e ast.Expr) string {
+		e = unparen(e)
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = unparen(ix.X)
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name
+		}
+		return ""
+	}
 	// recordWrite classifies a mutated lvalue: version-counter fields count
-	// as bumps, everything else rooted counts as a state write.
+	// as bumps, journal fields as stamps, everything else rooted counts as a
+	// state write.
 	recordWrite := func(lhs ast.Expr) {
 		lhs = unparen(lhs)
 		if sel, ok := lhs.(*ast.SelectorExpr); ok && isReceiver(sel.X) && vbFields[sel.Sel.Name] {
-			bumps = true
+			res.bumps = true
+			if vbStampFields[sel.Sel.Name] {
+				res.stamps = true
+			}
 			return
 		}
 		switch lhs.(type) {
 		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
 			if isRooted(lhs) {
-				writes = true
+				if vbStampFields[selName(lhs)] {
+					res.stamps = true
+					return
+				}
+				res.writes = true
 			}
 		}
 	}
@@ -149,15 +198,21 @@ func scanNetworkMethod(p *lint.Pass, body *ast.BlockStmt, recv types.Object) (wr
 			switch {
 			case isReceiver(sel.X):
 				if vbBumps[sel.Sel.Name] {
-					bumps = true
+					res.bumps = true
+				}
+				if vbStamps[sel.Sel.Name] {
+					res.stamps = true
 				}
 				// Other receiver methods are delegation: the callee is
 				// checked on its own.
 			case isRooted(sel.X) && vbMutators[sel.Sel.Name]:
-				writes = true
+				res.writes = true
+				if selName(sel.X) == "avail" {
+					res.availWrites = true
+				}
 			}
 		}
 		return true
 	})
-	return writes, bumps
+	return res
 }

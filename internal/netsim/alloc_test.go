@@ -4,7 +4,13 @@
 // instrumentation breaks testing.AllocsPerOp accounting).
 package netsim
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
 
 // TestNilTelemetryAddsNoAllocs pins the collector-off contract on the
 // simulator's routing hot path, matching internal/core's tracer bar: with
@@ -23,5 +29,35 @@ func TestNilTelemetryAddsNoAllocs(t *testing.T) {
 		tel.finish()
 	}); n != 0 {
 		t.Fatalf("nil telemetry hooks allocate %v per op, want 0", n)
+	}
+}
+
+// simLoopAllocBudget is the whole-run allocation budget for the headline
+// NSFNET dynamic scenario (200 arrivals, candidate tier on): network clone +
+// shared-skeleton build + event/pool warm-up plus the residual per-arrival
+// cost. Measured ~1.8k; the margin absorbs runtime and map-layout noise
+// without letting a leaked per-arrival allocation (≥ 200/run) slip through.
+const simLoopAllocBudget = 2600
+
+// TestSimLoopAllocBudget pins the simulator's steady-state allocation
+// behavior end to end: pooled conn/path storage, the value-heap event queue,
+// arena-backed routing results, and the incremental-reweight path together
+// must keep a full 200-arrival run under the budget.
+func TestSimLoopAllocBudget(t *testing.T) {
+	reqs := workload.Poisson(workload.PoissonConfig{
+		Nodes: 14, ArrivalRate: 10, MeanHolding: 2, Count: 200, Seed: 7,
+	})
+	net := topo.NSFNET(topo.Config{W: 8})
+	tab := core.NewCandidateTable(net, 4)
+	run := func() {
+		sim := New(net, Config{
+			Algorithm: MinCost,
+			Opts:      &core.Options{CandidateTable: tab},
+		})
+		sim.Run(reqs)
+	}
+	run() // warm shared caches outside the measured window
+	if n := testing.AllocsPerRun(3, run); n > simLoopAllocBudget {
+		t.Fatalf("dynamic sim run allocates %.0f, budget %d", n, simLoopAllocBudget)
 	}
 }

@@ -20,7 +20,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/lightpath"
 	"repro/internal/obs"
-	"repro/internal/pq"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/wdm"
@@ -229,9 +228,61 @@ const (
 type event struct {
 	kind eventKind
 	time float64
+	seq  uint64           // FIFO tie-break for equal times
 	req  workload.Request // evArrival
 	conn int              // evDeparture
 	link int              // evRepair
+}
+
+// eventQueue is a slice-backed binary min-heap ordered by (time, seq). Events
+// are stored by value in a single reusable backing array, so steady-state
+// push/pop allocates nothing — unlike the previous design, which appended
+// every event to a grow-only log and heaped indices into it.
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	h = h[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
 }
 
 // Sim is a single simulation instance. Create with New, drive with Run.
@@ -241,8 +292,8 @@ type Sim struct {
 	rng    *rand.Rand
 	router *core.Router // reused across every arrival and reconfiguration
 
-	events []event
-	q      *pq.PairingHeap
+	q   eventQueue
+	seq uint64 // next event sequence number
 
 	conns        map[int]*conn
 	down         []bool
@@ -254,6 +305,13 @@ type Sim struct {
 	lastT        float64
 	traceErr     error // first error the trace recorder returned
 	m            Metrics
+
+	// Free lists: conn structs and semilightpath storage cycle between the
+	// pools and the live-connection table, so the steady-state event loop
+	// allocates nothing per arrival/departure.
+	connPool []*conn
+	slPool   []*wdm.Semilightpath
+	ids      []int // scratch for the deterministic connection sweeps
 }
 
 // New returns a simulator over a private clone of the network.
@@ -264,14 +322,21 @@ func New(net *wdm.Network, cfg Config) *Sim {
 	if cfg.ReconfigCooldown == 0 {
 		cfg.ReconfigCooldown = 1
 	}
-	router := core.NewRouter(cfg.Opts)
+	// The simulator copies every routing result into pooled storage right
+	// after Establish, so the private router can safely hand out arena-backed
+	// results that the next routing call overwrites.
+	var ropts core.Options
+	if cfg.Opts != nil {
+		ropts = *cfg.Opts
+	}
+	ropts.ReuseResult = true
+	router := core.NewRouter(&ropts)
 	router.SetTracer(cfg.Tracer)
 	s := &Sim{
 		net:          net.Clone(),
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		router:       router,
-		q:            pq.NewPairingHeap(),
 		conns:        map[int]*conn{},
 		down:         make([]bool, net.Links()),
 		forced:       make([][]wdm.Wavelength, net.Links()),
@@ -281,13 +346,58 @@ func New(net *wdm.Network, cfg Config) *Sim {
 	return s
 }
 
+// copyPath copies p's hops into pooled sim-owned storage. Results handed out
+// by the shared router alias its arena and are only valid until the next
+// routing call; the copy pins them for the connection's lifetime.
+func (s *Sim) copyPath(p *wdm.Semilightpath) *wdm.Semilightpath {
+	if p == nil {
+		return nil
+	}
+	var c *wdm.Semilightpath
+	if n := len(s.slPool); n > 0 {
+		c = s.slPool[n-1]
+		s.slPool = s.slPool[:n-1]
+	} else {
+		c = &wdm.Semilightpath{}
+	}
+	c.Hops = append(c.Hops[:0], p.Hops...)
+	return c
+}
+
+// putPath returns sim-owned path storage to the free list. Only call once the
+// path's wavelengths are released and no bookkeeping references it.
+func (s *Sim) putPath(p *wdm.Semilightpath) {
+	if p != nil {
+		s.slPool = append(s.slPool, p)
+	}
+}
+
+func (s *Sim) getConn() *conn {
+	if n := len(s.connPool); n > 0 {
+		c := s.connPool[n-1]
+		s.connPool = s.connPool[:n-1]
+		*c = conn{}
+		return c
+	}
+	return &conn{}
+}
+
+func (s *Sim) putConn(c *conn) {
+	s.connPool = append(s.connPool, c)
+}
+
+// tracing reports whether the event stream is recorded — used to skip detail
+// formatting when nobody is listening.
+func (s *Sim) tracing() bool { return s.cfg.Trace != nil }
+
 // Network exposes the simulator's network (for inspection in tests and
 // examples; mutating it mid-run is undefined).
 func (s *Sim) Network() *wdm.Network { return s.net }
 
 func (s *Sim) push(e event) {
-	s.events = append(s.events, e)
-	s.q.Push(len(s.events)-1, e.time)
+	e.seq = s.seq
+	s.seq++
+	s.q.push(e)
 }
 
 // emit records a trace event when tracing is enabled. req is the obs request
@@ -333,9 +443,8 @@ func (s *Sim) Run(reqs []workload.Request) *Metrics {
 		}
 	}
 
-	for !s.q.Empty() {
-		idx, _ := s.q.Pop()
-		e := s.events[idx]
+	for len(s.q) > 0 {
+		e := s.q.pop()
 		s.advanceClock(e.time)
 		switch e.kind {
 		case evArrival:
@@ -394,7 +503,8 @@ func (s *Sim) handleArrival(r workload.Request) {
 	// The request is routed before its arrival event is emitted, so the
 	// arrival already carries the obs request ID; emission order (arrival,
 	// then accept/block, at the same timestamp) is unchanged.
-	c := &conn{id: r.ID, s: r.Src, d: r.Dst, req: -1}
+	c := s.getConn()
+	c.id, c.s, c.d, c.req = r.ID, r.Src, r.Dst, -1
 	switch s.cfg.Restoration {
 	case Active:
 		route := s.cfg.RouteFunc
@@ -411,7 +521,9 @@ func (s *Sim) handleArrival(r workload.Request) {
 		if viaRouter {
 			c.req = s.router.LastTraceID()
 		}
-		s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
+		if s.tracing() {
+			s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
+		}
 		if !ok || core.Establish(s.net, res) != nil {
 			if measured {
 				s.m.Blocked++
@@ -419,15 +531,18 @@ func (s *Sim) handleArrival(r workload.Request) {
 			instr.blocked.Inc()
 			s.cfg.Telemetry.routeDone(tt, true)
 			s.emit(trace.Block, r.ID, -1, c.req, "")
+			s.putConn(c)
 			return
 		}
 		s.cfg.Telemetry.routeDone(tt, false)
-		c.primary, c.backup = res.Primary, res.Backup
+		c.primary, c.backup = s.copyPath(res.Primary), s.copyPath(res.Backup)
 		if measured {
 			s.m.Cost.Add(res.Cost)
 			s.m.PathLoad.Add(res.PathLoad)
 		}
-		s.emit(trace.Accept, r.ID, -1, c.req, fmt.Sprintf("cost=%.4g", res.Cost))
+		if s.tracing() {
+			s.emit(trace.Accept, r.ID, -1, c.req, fmt.Sprintf("cost=%.4g", res.Cost))
+		}
 	case Passive:
 		tc := s.cfg.Tracer.Start("passive-optimal", r.Src, r.Dst)
 		c.req = tc.ReqID()
@@ -435,7 +550,9 @@ func (s *Sim) handleArrival(r workload.Request) {
 		tt := s.cfg.Telemetry.routeStart()
 		p, cost, ok := lightpath.Optimal(s.net, r.Src, r.Dst, nil)
 		instr.routeTime.Stop(rt)
-		s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
+		if s.tracing() {
+			s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
+		}
 		if !ok || s.net.Reserve(p) != nil {
 			if measured {
 				s.m.Blocked++
@@ -444,6 +561,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 			s.cfg.Telemetry.routeDone(tt, true)
 			tc.Finish(obs.StatusBlocked)
 			s.emit(trace.Block, r.ID, -1, c.req, "")
+			s.putConn(c)
 			return
 		}
 		s.cfg.Telemetry.routeDone(tt, false)
@@ -454,7 +572,9 @@ func (s *Sim) handleArrival(r workload.Request) {
 		tc.Float("cost", cost)
 		tc.Int("hops", int64(p.Len()))
 		tc.Finish(obs.StatusOK)
-		s.emit(trace.Accept, r.ID, -1, c.req, fmt.Sprintf("cost=%.4g", cost))
+		if s.tracing() {
+			s.emit(trace.Accept, r.ID, -1, c.req, fmt.Sprintf("cost=%.4g", cost))
+		}
 	}
 	instr.established.Inc()
 	if measured {
@@ -479,9 +599,12 @@ func (s *Sim) handleDeparture(id int) {
 	s.emit(trace.Depart, id, -1, c.req, "")
 	s.m.Availability.Add(1)
 	s.releasePath(c.primary)
+	s.putPath(c.primary)
 	if c.backup != nil {
 		s.releasePath(c.backup)
+		s.putPath(c.backup)
 	}
+	s.putConn(c)
 }
 
 // releasePath returns a path's wavelengths, except that hops on currently
@@ -515,12 +638,13 @@ func (s *Sim) handleFailure() {
 			return
 		}
 	} else {
-		var up []int
+		up := s.ids[:0]
 		for id := 0; id < s.net.Links(); id++ {
 			if !s.down[id] {
 				up = append(up, id)
 			}
 		}
+		s.ids = up
 		if len(up) == 0 {
 			return
 		}
@@ -541,11 +665,12 @@ func (s *Sim) handleFailure() {
 	s.push(event{kind: evRepair, time: s.lastT + s.cfg.RepairTime, link: link})
 
 	// Restore affected connections (deterministic order).
-	ids := make([]int, 0, len(s.conns))
+	ids := s.ids[:0]
 	for id := range s.conns {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	s.ids = ids
 	for _, id := range ids {
 		c := s.conns[id]
 		primaryHit := pathUses(c.primary, link)
@@ -559,6 +684,7 @@ func (s *Sim) handleFailure() {
 			// unprotected (or re-protected when configured).
 			s.m.BackupLost++
 			s.releasePath(c.backup)
+			s.putPath(c.backup)
 			c.backup = nil
 			s.reprotect(c)
 		}
@@ -591,6 +717,7 @@ func (s *Sim) reprotect(c *conn) {
 func (s *Sim) restore(c *conn, failedLink int) {
 	defer instr.restoreTime.Stop(instr.restoreTime.Start())
 	s.releasePath(c.primary)
+	s.putPath(c.primary)
 	c.primary = nil
 	if c.backup != nil {
 		// Activate approach: instant switchover to the pre-reserved backup,
@@ -598,6 +725,7 @@ func (s *Sim) restore(c *conn, failedLink int) {
 		// cross a link downed by an earlier overlapping failure.
 		if pathDown(c.backup, s.down) {
 			s.releasePath(c.backup)
+			s.putPath(c.backup)
 			c.backup = nil
 			s.dropConn(c)
 			return
@@ -639,6 +767,7 @@ func (s *Sim) dropConn(c *conn) {
 		s.m.Availability.Add(served)
 	}
 	s.emit(trace.Drop, c.id, -1, c.req, "")
+	s.putConn(c)
 }
 
 func (s *Sim) handleRepair(link int) {
@@ -649,7 +778,7 @@ func (s *Sim) handleRepair(link int) {
 			panic("netsim: repair release failed: " + err.Error())
 		}
 	}
-	s.forced[link] = nil
+	s.forced[link] = s.forced[link][:0]
 }
 
 // maybeReconfigure counts and performs a reconfiguration when ρ crosses the
@@ -678,7 +807,9 @@ func (s *Sim) maybeReconfigure(t float64) {
 	s.m.Reconfigs++
 	instr.reconfigs.Inc()
 	s.cfg.Telemetry.reconfigEvent()
-	s.emit(trace.Reconfig, -1, -1, -1, fmt.Sprintf("rho=%.3f", rho))
+	if s.tracing() {
+		s.emit(trace.Reconfig, -1, -1, -1, fmt.Sprintf("rho=%.3f", rho))
+	}
 	// Most loaded link.
 	worst, rho := -1, -1.0
 	for id := 0; id < s.net.Links(); id++ {
@@ -693,13 +824,14 @@ func (s *Sim) maybeReconfigure(t float64) {
 	if worst < 0 {
 		return
 	}
-	ids := make([]int, 0, len(s.conns))
+	ids := s.ids[:0]
 	for id, c := range s.conns {
 		if pathUses(c.primary, worst) || (c.backup != nil && pathUses(c.backup, worst)) {
 			ids = append(ids, id)
 		}
 	}
 	sort.Ints(ids)
+	s.ids = ids
 	for _, id := range ids {
 		c := s.conns[id]
 		oldP, oldB := c.primary, c.backup
@@ -709,11 +841,13 @@ func (s *Sim) maybeReconfigure(t float64) {
 		}
 		res, ok := s.router.MinLoad(s.net, c.s, c.d)
 		if ok && core.Establish(s.net, res) == nil {
-			c.primary, c.backup = res.Primary, res.Backup
+			c.primary, c.backup = s.copyPath(res.Primary), s.copyPath(res.Backup)
 			c.req = s.router.LastTraceID() // the connection now rides this trace's pair
 			s.m.ReroutedConns++
 			s.cfg.Telemetry.rerouted()
 			s.emit(trace.Reroute, c.id, worst, c.req, "reconfig")
+			s.putPath(oldP)
+			s.putPath(oldB)
 			continue
 		}
 		// Reroute failed: put the old paths back (nothing else touched the

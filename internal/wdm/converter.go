@@ -22,6 +22,12 @@ func NewFullConverter(w int, cost float64) *FullConverter {
 // Allowed implements Converter; every conversion is permitted.
 func (c *FullConverter) Allowed(from, to Wavelength) bool { return true }
 
+// UniformCost returns the cost of every non-identity conversion. It exposes
+// the converter's closed form so callers aggregating over wavelength pairs
+// (auxgraph's conversion-edge means) can replace the generic Σ over
+// Allowed(λp, λq) with counting arithmetic on the availability bitsets.
+func (c *FullConverter) UniformCost() float64 { return c.cost }
+
 // Cost implements Converter.
 func (c *FullConverter) Cost(from, to Wavelength) float64 {
 	if from == to {

@@ -110,6 +110,10 @@ type Network struct {
 	// Change counters for cache invalidation (see StateVersion/TopoVersion).
 	stateVersion uint64
 	topoVersion  uint64
+
+	// stamp[e] is the change journal: the StateVersion at which link e's
+	// availability set last changed (see LinkStamp).
+	stamp []uint64
 }
 
 // NewNetwork returns a network with n nodes, W wavelengths per system, and
@@ -194,6 +198,32 @@ func (g *Network) bumpState() {
 	g.stateVersion++
 }
 
+// touchLink records an availability change on one link: it advances
+// StateVersion and stamps the link's journal entry with the new version.
+// Every mutation of a link's avail set must go through touchLink or touchAll
+// — the wdmlint versionbump rule enforces it — or incremental consumers of
+// the journal (auxgraph's dirty-link reweight) serve stale weights.
+func (g *Network) touchLink(id int) {
+	g.bumpState()
+	g.stamp[id] = g.stateVersion
+}
+
+// touchAll records an availability change on every link at once.
+func (g *Network) touchAll() {
+	g.bumpState()
+	for i := range g.stamp {
+		g.stamp[i] = g.stateVersion
+	}
+}
+
+// LinkStamp returns the StateVersion at which link id's availability set last
+// changed. The journal contract: a per-link quantity computed from
+// availability at StateVersion v is still fresh for link e iff
+// LinkStamp(e) ≤ v — provided TopoVersion has not moved, since structural
+// changes (new links, converter swaps, SRLG edits) invalidate derived
+// structures wholesale without stamping individual links.
+func (g *Network) LinkStamp(id int) uint64 { return g.stamp[id] }
+
 // AddLink adds a directed link from → to carrying the given wavelengths at
 // the given per-wavelength costs and returns its ID. costs[i] is the cost of
 // wavelengths[i]; every cost must be non-negative and finite.
@@ -230,6 +260,7 @@ func (g *Network) AddLink(from, to int, wavelengths []Wavelength, costs []float6
 	g.out[from] = append(g.out[from], l.ID)
 	g.in[to] = append(g.in[to], l.ID)
 	g.bumpTopo()
+	g.stamp = append(g.stamp, g.stateVersion)
 	return l.ID
 }
 
@@ -277,7 +308,7 @@ func (g *Network) Use(id int, lambda Wavelength) error {
 		return fmt.Errorf("wdm: λ%d already in use on link %d", lambda, id)
 	}
 	l.avail.Remove(lambda)
-	g.bumpState()
+	g.touchLink(id)
 	return nil
 }
 
@@ -295,7 +326,7 @@ func (g *Network) Release(id int, lambda Wavelength) error {
 		return fmt.Errorf("wdm: λ%d not in use on link %d", lambda, id)
 	}
 	l.avail.Add(lambda)
-	g.bumpState()
+	g.touchLink(id)
 	return nil
 }
 
@@ -337,6 +368,7 @@ func (g *Network) Clone() *Network {
 		conv:         append([]Converter(nil), g.conv...),
 		stateVersion: g.stateVersion,
 		topoVersion:  g.topoVersion,
+		stamp:        append([]uint64(nil), g.stamp...),
 	}
 	for v := 0; v < g.n; v++ {
 		c.out[v] = append([]int(nil), g.out[v]...)
@@ -368,7 +400,7 @@ func (g *Network) ResetAvailability() {
 	for _, l := range g.links {
 		l.avail.CopyFrom(l.lambda)
 	}
-	g.bumpState()
+	g.touchAll()
 }
 
 // TotalAvailable returns the total count of available (link, wavelength)
