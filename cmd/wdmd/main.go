@@ -1,0 +1,202 @@
+// wdmd is the long-lived routing daemon: it serves provision / teardown /
+// reroute / status as HTTP/JSON over sharded, snapshot-isolated network
+// state, with the standard debug surface (/healthz, /metrics,
+// /debug/timeseries, /debug/net, /debug/pprof) built in.
+//
+//	wdmd -addr localhost:9101 -topo nsfnet -w 8 -shards 8
+//	curl -s -X POST -d '{"id":1,"src":0,"dst":9}' localhost:9101/provision
+//	curl -s localhost:9101/status
+//
+// Two load-generator modes share the binary so CI and benchmarks need no
+// extra tooling: -soak hammers an in-process engine (no HTTP overhead, the
+// ~1M-request experiment), -drive hammers a live daemon over real HTTP (the
+// CI smoke).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/timeseries"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:9101", "listen address for the HTTP API")
+	topoName := flag.String("topo", "nsfnet", "topology: nsfnet, arpa2, ring, waxman")
+	n := flag.Int("n", 16, "node count for parametric topologies")
+	w := flag.Int("w", 8, "wavelengths per fiber")
+	seed := flag.Int64("seed", 1, "topology seed (parametric topologies)")
+	algo := flag.String("algo", "min-load-cost", "default routing: min-cost, min-load, min-load-cost, two-step")
+	shards := flag.Int("shards", 0, "routing shards (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 0, "max admissions folded into one epoch (0 = 64)")
+	queue := flag.Int("queue", 0, "per-shard queue depth (0 = 128)")
+	retries := flag.Int("retries", 0, "conflict retry budget per request (0 = 4, -1 = none)")
+	candidates := flag.Int("candidates", 0, "candidate fast tier: k precomputed route pairs per node pair (0 = off)")
+	journalCap := flag.Int("journal", 0, "retain up to this many commit-ordered journal entries (0 = off)")
+	window := flag.Float64("window", 5, "telemetry window width in wall-clock seconds (0 = telemetry off)")
+	timeseriesOut := flag.String("timeseries-out", "", "stream sealed telemetry windows to this file (.csv → CSV, else JSONL)")
+	flightCap := flag.Int("flight", obs.DefaultCapacity, "flight-recorder capacity (last N request traces; 0 = tracing off)")
+	soakCount := flag.Int("soak", 0, "soak mode: run this many in-process requests instead of serving, print the report, exit")
+	drive := flag.Bool("drive", false, "drive mode: hammer a live daemon at http://<addr> instead of serving")
+	count := flag.Int("count", 5000, "request count for -drive")
+	clients := flag.Int("clients", 16, "client goroutines for -soak / -drive")
+	maxLive := flag.Int("max-live", 32, "per-client live-connection cap for -soak / -drive")
+	rerouteEvery := flag.Int("reroute-every", 50, "issue a reroute every n-th soak operation (0 = off)")
+	jsonOut := flag.Bool("json", false, "print the -soak / -drive report as JSON")
+	version := cli.VersionFlag()
+	flag.Parse()
+	cli.HandleVersion(*version)
+
+	algorithm, err := serve.ParseAlgo(*algo)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *drive {
+		rep, err := serve.Drive("http://"+*addr, serve.DriveConfig{
+			Requests: *count,
+			Clients:  *clients,
+			Seed:     *seed,
+			MaxLive:  *maxLive,
+			Nodes:    nodesOf(*topoName, *n, *w, *seed),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, rep)
+			fatal(err)
+		}
+		report(rep, *jsonOut)
+		return
+	}
+
+	network, err := cli.BuildTopology(*topoName, *n, *w, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := cli.EnableAllMetrics()
+	serve.EnableMetrics(reg)
+	var tracer *obs.Tracer
+	if *flightCap > 0 && *soakCount == 0 {
+		tracer = obs.New(obs.Config{Capacity: *flightCap})
+	}
+
+	engine := serve.New(network, serve.Config{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		BatchMax:   *batch,
+		MaxRetries: *retries,
+		Algorithm:  algorithm,
+		Candidates: *candidates,
+		JournalCap: *journalCap,
+		Window:     *window,
+		Tracer:     tracer,
+	})
+	if *timeseriesOut != "" {
+		fh, err := os.Create(*timeseriesOut)
+		if err != nil {
+			fatal(err)
+		}
+		if strings.HasSuffix(*timeseriesOut, ".csv") {
+			snk := timeseries.NewCSV(fh)
+			engine.SetTelemetrySink(snk, snk.Close)
+		} else {
+			snk := timeseries.NewJSONL(fh)
+			engine.SetTelemetrySink(snk, snk.Close)
+		}
+	}
+	if err := engine.Start(); err != nil {
+		fatal(err)
+	}
+
+	if *soakCount > 0 {
+		rep, err := serve.RunSoak(engine, serve.SoakConfig{
+			Requests:     *soakCount,
+			Clients:      *clients,
+			Seed:         *seed,
+			MaxLive:      *maxLive,
+			RerouteEvery: *rerouteEvery,
+			Drain:        true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, rep)
+			fatal(err)
+		}
+		report(rep, *jsonOut)
+		if err := engine.Close(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: engine.Handler(reg)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "wdmd: %s (%d nodes, W=%d, %s) listening on http://%s\n",
+		*topoName, engine.Nodes(), engine.W(), algorithm, ln.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "wdmd: %v, shutting down\n", sig)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	// Shutdown order: stop accepting HTTP first, then drain the engine —
+	// both error paths are checked (lost sink flushes are real data loss in
+	// a soak, and wdmlint errcheck-lite enforces exactly these two calls).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "wdmd: http shutdown: %v\n", err)
+	}
+	if err := engine.Close(); err != nil {
+		fatal(fmt.Errorf("wdmd: engine close: %w", err))
+	}
+	fmt.Fprintln(os.Stderr, "wdmd: clean shutdown")
+}
+
+// nodesOf resolves the node count the drive workload draws endpoints from
+// without keeping the topology around.
+func nodesOf(topo string, n, w int, seed int64) int {
+	network, err := cli.BuildTopology(topo, n, w, seed)
+	if err != nil {
+		fatal(err)
+	}
+	return network.Nodes()
+}
+
+// report prints a soak/drive report as text or JSON.
+func report(v fmt.Stringer, asJSON bool) {
+	if !asJSON {
+		fmt.Println(v)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}

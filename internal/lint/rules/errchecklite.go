@@ -38,6 +38,12 @@ var ecMethodRules = []struct {
 	// truncates the curve on disk with no other symptom.
 	{"timeseries", "Flush"},
 	{"timeseries", "Close"},
+	// http.Server.Shutdown reports whether the graceful drain actually
+	// finished; ignoring it turns a hung shutdown into a silent request drop.
+	{"http", "Shutdown"},
+	// The daemon engine's Close seals telemetry and returns the first sink
+	// error — dropping it loses the tail of every soak curve.
+	{"serve", "Close"},
 }
 
 func runErrCheckLite(p *lint.Pass) {

@@ -26,7 +26,7 @@ var fixtures = []struct {
 	{"freshrouter", rules.FreshRouter, []string{"core", "app", "netsim"}},
 	{"nocopy", rules.NoCopy, []string{"graph", "app"}},
 	{"mapdet", rules.MapDet, []string{"core", "other"}},
-	{"errcheck", rules.ErrCheckLite, []string{"trace", "obs", "timeseries", "app"}},
+	{"errcheck", rules.ErrCheckLite, []string{"trace", "obs", "timeseries", "http", "serve", "app"}},
 }
 
 // loadFixture typechecks the fixture packages for one rule. Import paths are

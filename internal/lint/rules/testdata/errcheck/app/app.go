@@ -3,10 +3,13 @@
 package app
 
 import (
+	"context"
 	"io"
 	"os"
 
+	"fix/errcheck/http"
 	"fix/errcheck/obs"
+	"fix/errcheck/serve"
 	"fix/errcheck/timeseries"
 	"fix/errcheck/trace"
 )
@@ -103,4 +106,33 @@ func DeferSinkClose(s *timeseries.JSONL) {
 func CheckedSink(s *timeseries.JSONL) error {
 	s.WriteSnapshot(3)
 	return s.Close()
+}
+
+// DropShutdown discards the graceful-drain verdict: finding.
+func DropShutdown(srv *http.Server, ctx context.Context) {
+	srv.Shutdown(ctx)
+}
+
+// DeferShutdown discards it at exit: finding.
+func DeferShutdown(srv *http.Server, ctx context.Context) error {
+	defer srv.Shutdown(ctx)
+	return srv.ListenAndServe()
+}
+
+// CheckedShutdown propagates the drain verdict: clean.
+func CheckedShutdown(srv *http.Server, ctx context.Context) error {
+	return srv.Shutdown(ctx)
+}
+
+// DropEngineClose discards the engine's first sink error: finding.
+func DropEngineClose(e *serve.Engine) {
+	e.Close()
+}
+
+// CheckedEngineClose propagates it: clean.
+func CheckedEngineClose(e *serve.Engine) error {
+	if err := e.Start(); err != nil {
+		return err
+	}
+	return e.Close()
 }

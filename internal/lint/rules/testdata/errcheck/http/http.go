@@ -1,0 +1,24 @@
+// Package http is a fixture standing in for net/http: Shutdown reports
+// whether the graceful drain completed, and dropping that error hides
+// requests cut off mid-flight.
+package http
+
+import "context"
+
+// Server is the fixture stand-in for http.Server.
+type Server struct {
+	serving bool
+}
+
+// ListenAndServe blocks serving requests.
+func (s *Server) ListenAndServe() error {
+	s.serving = true
+	return nil
+}
+
+// Shutdown gracefully drains in-flight requests; the error reports whether
+// the drain finished before ctx expired.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.serving = false
+	return ctx.Err()
+}

@@ -1,0 +1,22 @@
+// Package serve is a fixture standing in for the daemon engine: Close drains
+// the request loop and returns the first telemetry sink error, so dropping
+// it loses the tail of the recorded curves.
+package serve
+
+// Engine is the fixture stand-in for serve.Engine.
+type Engine struct {
+	open bool
+}
+
+// Start launches the engine.
+func (e *Engine) Start() error {
+	e.open = true
+	return nil
+}
+
+// Close drains in-flight work and flushes telemetry, returning the first
+// sink error.
+func (e *Engine) Close() error {
+	e.open = false
+	return nil
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// linkAvail copies the availability sets of every link — the observable a
+// frozen epoch must keep forever.
+func linkAvail(net *wdm.Network) [][]int {
+	out := make([][]int, net.Links())
+	for id := range out {
+		out[id] = append([]int(nil), net.Link(id).Avail().Slice()...)
+	}
+	return out
+}
+
+func sameAvail(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestEpochReadersSeeFrozenState is the snapshot-isolation property: a
+// reader pinned to epoch N never observes a write that committed in epoch
+// N+1 or later, no matter how much state churns after the pin.
+func TestEpochReadersSeeFrozenState(t *testing.T) {
+	e := startEngine(t, nsf(8), Config{})
+
+	epoch0, pinned := e.Snapshot()
+	before := linkAvail(pinned)
+
+	var accepted []Response
+	for i := 0; i < 30; i++ {
+		resp := e.Provision(Request{ID: int64(i), Src: i % 14, Dst: (i + 7) % 14})
+		if resp.Accepted {
+			accepted = append(accepted, resp)
+		}
+	}
+	if len(accepted) == 0 {
+		t.Fatal("no admissions; the test needs post-pin writes")
+	}
+	epochN, current := e.Snapshot()
+	if epochN <= epoch0 {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch0, epochN)
+	}
+
+	// The pinned network is bit-identical to its state at pin time...
+	if !sameAvail(before, linkAvail(pinned)) {
+		t.Fatal("epoch-pinned reader observed a later write")
+	}
+	// ...while the current snapshot shows every committed admission: each
+	// granted channel is busy now but was free at the pin.
+	for _, resp := range accepted {
+		for _, h := range append(append([]HopOut(nil), resp.Primary...), resp.Backup...) {
+			if !pinned.Link(h.Link).HasAvail(h.Lambda) {
+				t.Fatalf("conn %d channel (link %d, λ%d) busy in the pinned epoch", resp.ID, h.Link, h.Lambda)
+			}
+			if current.Link(h.Link).HasAvail(h.Lambda) {
+				t.Fatalf("conn %d channel (link %d, λ%d) free in epoch %d after commit", resp.ID, h.Link, h.Lambda, epochN)
+			}
+		}
+	}
+}
+
+// TestBatchedAdmissionsApplyAtomically drives the committer's batch path
+// directly: three admissions folded into one applyBatch call must publish
+// exactly ONE new epoch carrying all three — readers can never observe a
+// partially applied batch.
+func TestBatchedAdmissionsApplyAtomically(t *testing.T) {
+	e := New(ring4(8), Config{}) // not started: the test plays committer
+
+	_, pinned := e.Snapshot()
+	mk := func(id int64, lam int) *op {
+		o := newOp(opProvision, id, 0, 2, AlgoMinCost)
+		o.primary = []wdm.Hop{{Link: 0, Wavelength: lam}, {Link: 2, Wavelength: lam}}
+		o.backup = []wdm.Hop{{Link: 7, Wavelength: lam}, {Link: 5, Wavelength: lam}}
+		return o
+	}
+	batch := []*op{mk(1, 0), mk(2, 1), mk(3, 2)}
+	e.applyBatch(batch)
+
+	for _, o := range batch {
+		cr := <-o.commit
+		if !cr.ok || cr.epoch != 1 {
+			t.Fatalf("op %d: %+v, want ok in epoch 1", o.id, cr)
+		}
+	}
+	epoch, snap := e.Snapshot()
+	if epoch != 1 {
+		t.Fatalf("batch of 3 published %d epochs, want exactly 1", epoch)
+	}
+	for lam := 0; lam < 3; lam++ {
+		for _, link := range []int{0, 2, 7, 5} {
+			if snap.Link(link).HasAvail(lam) {
+				t.Fatalf("channel (link %d, λ%d) free in epoch 1; batch applied partially", link, lam)
+			}
+			if !pinned.Link(link).HasAvail(lam) {
+				t.Fatalf("channel (link %d, λ%d) busy in epoch 0", link, lam)
+			}
+		}
+	}
+	if err := e.Audit(); err == nil {
+		t.Fatal("audit on an unstarted engine should refuse")
+	}
+	if err := e.oracle(e.store.cur); err != nil {
+		t.Fatalf("oracle after batch: %v", err)
+	}
+}
+
+// TestTeardownFreesCapacityNextEpoch: released channels become available in
+// the next published epoch — and only there; the pre-teardown epoch still
+// shows them busy.
+func TestTeardownFreesCapacityNextEpoch(t *testing.T) {
+	net := nsf(8)
+	want := net.TotalAvailable()
+	e := startEngine(t, net, Config{})
+
+	resp := e.Provision(Request{ID: 1, Src: 0, Dst: 9})
+	if !resp.Accepted {
+		t.Fatalf("provision blocked: %+v", resp)
+	}
+	epochHeld, held := e.Snapshot()
+	for _, h := range append(append([]HopOut(nil), resp.Primary...), resp.Backup...) {
+		if held.Link(h.Link).HasAvail(h.Lambda) {
+			t.Fatalf("channel (link %d, λ%d) free while held", h.Link, h.Lambda)
+		}
+	}
+
+	if td := e.Teardown(1); !td.Accepted {
+		t.Fatalf("teardown rejected: %+v", td)
+	}
+	epochFree, freed := e.Snapshot()
+	if epochFree <= epochHeld {
+		t.Fatalf("teardown published no epoch: %d -> %d", epochHeld, epochFree)
+	}
+	for _, h := range append(append([]HopOut(nil), resp.Primary...), resp.Backup...) {
+		if !freed.Link(h.Link).HasAvail(h.Lambda) {
+			t.Fatalf("channel (link %d, λ%d) still busy after teardown epoch", h.Link, h.Lambda)
+		}
+		if held.Link(h.Link).HasAvail(h.Lambda) {
+			t.Fatalf("teardown mutated the frozen pre-teardown epoch %d", epochHeld)
+		}
+	}
+	if got := freed.TotalAvailable(); got != want {
+		t.Fatalf("capacity after teardown: %d, want %d", got, want)
+	}
+}

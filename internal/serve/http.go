@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/cli"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/wdm"
+)
+
+// Request is the JSON body of POST /provision. Teardown and reroute take
+// only the ID (src/dst/algo ignored).
+type Request struct {
+	ID  int64 `json:"id"`
+	Src int   `json:"src"`
+	Dst int   `json:"dst"`
+	// Algo optionally overrides the daemon's default routing discipline for
+	// this request: min-cost, min-load, min-load-cost or two-step.
+	Algo string `json:"algo,omitempty"`
+}
+
+// HopOut is one semilightpath hop in a JSON response or journal entry.
+type HopOut struct {
+	Link   int `json:"link"`
+	Lambda int `json:"lambda"`
+}
+
+// Response is the JSON body every request endpoint returns. Domain
+// rejections (no route, conflict, unknown connection) are HTTP 200 with
+// Accepted=false and a Reason — only malformed requests get a 4xx.
+type Response struct {
+	ID       int64    `json:"id"`
+	Op       string   `json:"op"`
+	Accepted bool     `json:"accepted"`
+	Reason   string   `json:"reason,omitempty"`
+	Detail   string   `json:"detail,omitempty"`
+	Cost     float64  `json:"cost,omitempty"`
+	PathLoad float64  `json:"path_load,omitempty"`
+	Epoch    uint64   `json:"epoch"`
+	Shard    int      `json:"shard"`
+	Retries  int      `json:"retries,omitempty"`
+	Primary  []HopOut `json:"primary,omitempty"`
+	Backup   []HopOut `json:"backup,omitempty"`
+}
+
+func rejectResponse(id int64, op, reason, detail string) Response {
+	return Response{ID: id, Op: op, Accepted: false, Reason: reason, Detail: detail}
+}
+
+func hopsJSON(hops []wdm.Hop) []HopOut {
+	if len(hops) == 0 {
+		return nil
+	}
+	out := make([]HopOut, len(hops))
+	for i, h := range hops {
+		out[i] = HopOut{Link: h.Link, Lambda: h.Wavelength}
+	}
+	return out
+}
+
+// maxBodyBytes bounds request bodies; routing requests are tiny.
+const maxBodyBytes = 1 << 16
+
+// DecodeRequest parses one JSON request body strictly: unknown fields,
+// trailing garbage, and non-object payloads are errors. It is the fuzz
+// target of FuzzRequestDecode — it must never panic, whatever the bytes.
+func DecodeRequest(r io.Reader) (Request, error) {
+	var req Request
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("decode request: %w", err)
+	}
+	// Reject trailing tokens ("{}{}", "{} junk") — one request per body.
+	if _, err := dec.Token(); err != io.EOF {
+		return Request{}, fmt.Errorf("decode request: trailing data after JSON object")
+	}
+	return req, nil
+}
+
+// Handler builds the daemon's HTTP API on top of the shared debug mux, so
+// wdmd exposes /healthz, /metrics, /debug/timeseries, /debug/net,
+// /debug/flight and /debug/pprof/* exactly like wdmsim -serve, plus:
+//
+//	POST /provision  {"id": 7, "src": 0, "dst": 3, "algo": "min-load-cost"}
+//	POST /teardown   {"id": 7}
+//	POST /reroute    {"id": 7}
+//	GET  /status     daemon aggregate state (epoch, blocking, conflicts…)
+//
+// reg is the registry backing /metrics (nil disables it); pass the same
+// registry given to EnableMetrics.
+func (e *Engine) Handler(reg *metrics.Registry) *http.ServeMux {
+	var fr *obs.FlightRecorder
+	if e.cfg.Tracer != nil {
+		fr = e.cfg.Tracer.Flight()
+	}
+	mux := cli.DebugMux(cli.DebugOpts{
+		Metrics:  reg,
+		Flight:   fr,
+		Series:   e.Collector(),
+		NetState: e.NetState,
+	})
+	mux.HandleFunc("POST /provision", func(w http.ResponseWriter, r *http.Request) {
+		req, err := DecodeRequest(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, e.Provision(req))
+	})
+	mux.HandleFunc("POST /teardown", func(w http.ResponseWriter, r *http.Request) {
+		req, err := DecodeRequest(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, e.Teardown(req.ID))
+	})
+	mux.HandleFunc("POST /reroute", func(w http.ResponseWriter, r *http.Request) {
+		req, err := DecodeRequest(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, e.Reroute(req.ID))
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, e.Status())
+	})
+	return mux
+}
+
+// writeJSON encodes v into a buffer first so an encoding failure can still
+// change the status code (nothing committed to the wire yet).
+func writeJSON(w http.ResponseWriter, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = buf.WriteTo(w)
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/wdm"
+)
+
+// JournalEntry is one committed decision in the daemon's serialization
+// order. The sequence of entries is a serial history: replaying it op by op
+// on a copy of the initial network must reproduce every decision, which is
+// how a failing concurrent schedule becomes a deterministic regression.
+type JournalEntry struct {
+	Seq      uint64   `json:"seq"`
+	Epoch    uint64   `json:"epoch"`
+	Op       string   `json:"op"` // provision | teardown | reroute
+	ID       int64    `json:"id"`
+	Src      int      `json:"src"`
+	Dst      int      `json:"dst"`
+	Accepted bool     `json:"accepted"`
+	Reason   string   `json:"reason,omitempty"`
+	Cost     float64  `json:"cost,omitempty"`
+	Retries  int      `json:"retries,omitempty"`
+	Primary  []HopOut `json:"primary,omitempty"`
+	Backup   []HopOut `json:"backup,omitempty"`
+}
+
+// journal is the bounded commit-order log. Only the committer appends, so
+// the mutex serializes appenders against snapshot() readers only.
+type journal struct {
+	mu        sync.Mutex
+	cap       int
+	seq       uint64
+	entries   []JournalEntry
+	truncated bool
+}
+
+// record appends one committed decision (committer goroutine only; no-op
+// when the journal is disabled).
+func (j *journal) record(o *op, cr commitResult) {
+	if j.cap <= 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	if len(j.entries) >= j.cap {
+		j.truncated = true
+		return
+	}
+	var kind string
+	switch o.kind {
+	case opProvision:
+		kind = "provision"
+	case opTeardown:
+		kind = "teardown"
+	case opReroute:
+		kind = "reroute"
+	default:
+		return
+	}
+	ent := JournalEntry{
+		Seq:      j.seq,
+		Epoch:    cr.epoch,
+		Op:       kind,
+		ID:       o.id,
+		Src:      o.s,
+		Dst:      o.d,
+		Accepted: cr.ok,
+		Reason:   cr.reason,
+		Retries:  o.retries,
+	}
+	switch o.kind {
+	case opProvision, opReroute:
+		if cr.ok || cr.reason == ReasonConflict {
+			// Keep the attempted paths for conflicts too: Replay asserts the
+			// losing reservation really was infeasible in commit order.
+			ent.Primary = hopsJSON(o.primary)
+			ent.Backup = hopsJSON(o.backup)
+			ent.Cost = o.cost
+		}
+	case opTeardown:
+		ent.Primary = hopsJSON(o.oldPrimary)
+		ent.Backup = hopsJSON(o.oldBackup)
+	}
+	j.entries = append(j.entries, ent)
+}
+
+// snapshot copies the recorded entries (safe from any goroutine).
+func (j *journal) snapshot() ([]JournalEntry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]JournalEntry(nil), j.entries...), j.truncated
+}
+
+func hopsFromJSON(hs []HopOut) []wdm.Hop {
+	if len(hs) == 0 {
+		return nil
+	}
+	hops := make([]wdm.Hop, len(hs))
+	for i, h := range hs {
+		hops[i] = wdm.Hop{Link: h.Link, Wavelength: h.Lambda}
+	}
+	return hops
+}
+
+// Replay re-executes a journal serially on a fresh copy of the initial
+// network and verifies that every recorded decision is reproducible in
+// commit order: accepted reservations must succeed with the recorded cost
+// (bit-checked against the check oracle's Eq. 1 recomputation), conflicts
+// must genuinely fail to reserve, teardowns must release exactly the
+// recorded paths. It returns the final network so callers can compare it
+// against the engine's last snapshot.
+//
+// This is the linearizability-style argument made executable: if the
+// concurrent engine's observable decisions match a serial execution of its
+// own commit order, the schedule was linearizable with the commit point as
+// the linearization point.
+func Replay(initial *wdm.Network, entries []JournalEntry) (*wdm.Network, error) {
+	net := initial.Clone()
+	live := make(map[int64][2][]wdm.Hop)
+	for _, ent := range entries {
+		switch ent.Op {
+		case "provision":
+			switch {
+			case ent.Accepted:
+				p := &wdm.Semilightpath{Hops: hopsFromJSON(ent.Primary)}
+				b := &wdm.Semilightpath{Hops: hopsFromJSON(ent.Backup)}
+				if err := net.Reserve(p); err != nil {
+					return nil, fmt.Errorf("seq %d: accepted primary does not replay: %w", ent.Seq, err)
+				}
+				if err := net.Reserve(b); err != nil {
+					return nil, fmt.Errorf("seq %d: accepted backup does not replay: %w", ent.Seq, err)
+				}
+				if got := check.PathCost(net, p) + check.PathCost(net, b); math.Abs(got-ent.Cost) > 1e-6*(1+math.Abs(ent.Cost)) {
+					return nil, fmt.Errorf("seq %d: replayed cost %g, journal says %g", ent.Seq, got, ent.Cost)
+				}
+				live[ent.ID] = [2][]wdm.Hop{p.Hops, b.Hops}
+			case ent.Reason == ReasonConflict:
+				if err := reserveMustFail(net, hopsFromJSON(ent.Primary), hopsFromJSON(ent.Backup)); err != nil {
+					return nil, fmt.Errorf("seq %d (provision conflict): %w", ent.Seq, err)
+				}
+			}
+		case "teardown":
+			if !ent.Accepted {
+				continue
+			}
+			p := &wdm.Semilightpath{Hops: hopsFromJSON(ent.Primary)}
+			b := &wdm.Semilightpath{Hops: hopsFromJSON(ent.Backup)}
+			if err := net.ReleasePath(p); err != nil {
+				return nil, fmt.Errorf("seq %d: teardown primary does not replay: %w", ent.Seq, err)
+			}
+			if err := net.ReleasePath(b); err != nil {
+				return nil, fmt.Errorf("seq %d: teardown backup does not replay: %w", ent.Seq, err)
+			}
+			delete(live, ent.ID)
+		case "reroute":
+			old, isLive := live[ent.ID]
+			switch {
+			case ent.Accepted:
+				if !isLive {
+					return nil, fmt.Errorf("seq %d: reroute of connection %d not live in replay", ent.Seq, ent.ID)
+				}
+				if err := net.ReleasePath(&wdm.Semilightpath{Hops: old[0]}); err != nil {
+					return nil, fmt.Errorf("seq %d: reroute release(primary): %w", ent.Seq, err)
+				}
+				if err := net.ReleasePath(&wdm.Semilightpath{Hops: old[1]}); err != nil {
+					return nil, fmt.Errorf("seq %d: reroute release(backup): %w", ent.Seq, err)
+				}
+				p := &wdm.Semilightpath{Hops: hopsFromJSON(ent.Primary)}
+				b := &wdm.Semilightpath{Hops: hopsFromJSON(ent.Backup)}
+				if err := net.Reserve(p); err != nil {
+					return nil, fmt.Errorf("seq %d: rerouted primary does not replay: %w", ent.Seq, err)
+				}
+				if err := net.Reserve(b); err != nil {
+					return nil, fmt.Errorf("seq %d: rerouted backup does not replay: %w", ent.Seq, err)
+				}
+				live[ent.ID] = [2][]wdm.Hop{p.Hops, b.Hops}
+			case ent.Reason == ReasonConflict && isLive:
+				// In commit order the old paths were released, the new pair
+				// failed to reserve, and the old paths were restored: net-zero
+				// on the network, but the new pair must fail with the old
+				// channels free.
+				if err := net.ReleasePath(&wdm.Semilightpath{Hops: old[0]}); err != nil {
+					return nil, fmt.Errorf("seq %d: reroute-conflict release: %w", ent.Seq, err)
+				}
+				if err := net.ReleasePath(&wdm.Semilightpath{Hops: old[1]}); err != nil {
+					return nil, fmt.Errorf("seq %d: reroute-conflict release: %w", ent.Seq, err)
+				}
+				if err := reserveMustFail(net, hopsFromJSON(ent.Primary), hopsFromJSON(ent.Backup)); err != nil {
+					return nil, fmt.Errorf("seq %d (reroute conflict): %w", ent.Seq, err)
+				}
+				if err := net.Reserve(&wdm.Semilightpath{Hops: old[0]}); err != nil {
+					return nil, fmt.Errorf("seq %d: reroute-conflict restore: %w", ent.Seq, err)
+				}
+				if err := net.Reserve(&wdm.Semilightpath{Hops: old[1]}); err != nil {
+					return nil, fmt.Errorf("seq %d: reroute-conflict restore: %w", ent.Seq, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("seq %d: unknown op %q", ent.Seq, ent.Op)
+		}
+	}
+	return net, nil
+}
+
+// reserveMustFail asserts that the pair cannot be reserved on net: the
+// primary fails outright, or succeeds and the backup fails (and is then
+// rolled back). A pair that reserves cleanly means the journal recorded a
+// conflict that was not real — a serializability violation.
+func reserveMustFail(net *wdm.Network, primary, backup []wdm.Hop) error {
+	p := &wdm.Semilightpath{Hops: primary}
+	if err := net.Reserve(p); err != nil {
+		return nil
+	}
+	b := &wdm.Semilightpath{Hops: backup}
+	if err := net.Reserve(b); err != nil {
+		if rerr := net.ReleasePath(p); rerr != nil {
+			return fmt.Errorf("rollback after expected conflict: %w", rerr)
+		}
+		return nil
+	}
+	return fmt.Errorf("journal recorded a conflict but the pair reserves cleanly in commit order")
+}

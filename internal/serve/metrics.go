@@ -1,0 +1,51 @@
+package serve
+
+import "repro/internal/metrics"
+
+// instruments holds the package's metric hooks; nil (the default) means off.
+// All instruments are process-wide, matching the one-daemon-per-process
+// deployment; Engine keeps its own atomic stats for /status so the JSON API
+// works with metrics disabled.
+type instruments struct {
+	provisions  *metrics.Counter
+	accepted    *metrics.Counter
+	blocked     *metrics.Counter
+	teardowns   *metrics.Counter
+	reroutes    *metrics.Counter
+	conflicts   *metrics.Counter
+	retries     *metrics.Counter
+	epochs      *metrics.Counter
+	routeTime   *metrics.Timer
+	requestTime *metrics.Timer
+
+	// Live progress gauges: refreshed per request so a mid-soak /metrics
+	// scrape shows where the daemon stands, not just end totals.
+	epoch        *metrics.Gauge
+	shards       *metrics.Gauge
+	liveConns    *metrics.Gauge
+	blockingProb *metrics.Gauge
+}
+
+var instr instruments
+
+// EnableMetrics registers the package's instruments on r and routes all
+// subsequent daemon activity through them. A nil registry disables them.
+func EnableMetrics(r *metrics.Registry) {
+	instr = instruments{
+		provisions:  r.Counter("wdmd_provision_total", "provision requests received"),
+		accepted:    r.Counter("wdmd_accepted_total", "provisions accepted"),
+		blocked:     r.Counter("wdmd_blocked_total", "provisions blocked (no route, conflict, duplicate)"),
+		teardowns:   r.Counter("wdmd_teardown_total", "teardown requests received"),
+		reroutes:    r.Counter("wdmd_reroute_total", "reroute requests received"),
+		conflicts:   r.Counter("wdmd_conflicts_total", "commit-time optimistic reservation conflicts"),
+		retries:     r.Counter("wdmd_retries_total", "conflicted admissions re-routed on a fresh snapshot"),
+		epochs:      r.Counter("wdmd_epochs_total", "snapshot epochs published"),
+		routeTime:   r.Timer("wdmd_route_seconds", "per-request routing computation latency"),
+		requestTime: r.Timer("wdmd_request_seconds", "end-to-end request latency (queue + route + commit)"),
+
+		epoch:        r.Gauge("wdmd_epoch", "current snapshot epoch"),
+		shards:       r.Gauge("wdmd_shards", "routing shard count"),
+		liveConns:    r.Gauge("wdmd_live_connections", "connections currently established"),
+		blockingProb: r.Gauge("wdmd_blocking_probability", "running blocked/provisions ratio"),
+	}
+}

@@ -1,0 +1,980 @@
+// Package serve is the long-lived concurrent routing daemon behind cmd/wdmd:
+// it turns the batch routing engines into an HTTP/JSON request loop
+// (provision / teardown / reroute / status) over sharded network state.
+//
+// Concurrency model — route on snapshots, commit in batches between epochs:
+//
+//   - The authoritative *wdm.Network is owned by a single committer
+//     goroutine. Nobody else ever mutates it.
+//   - Readers (the routing shards, the /debug/net probe, status queries)
+//     work against an immutable epoch-stamped snapshot published through an
+//     atomic pointer. Publishing epoch N+1 is a copy-on-write clone driven
+//     by the per-link LinkStamp journal (wdm.CloneSince): only links touched
+//     since epoch N are copied, everything else is shared with the frozen
+//     epoch-N snapshot. Reads therefore never block writes and writes never
+//     block reads — there is no lock on the routing path.
+//   - Each shard owns a region of (s, t) pairs and a warm core.Router (the
+//     parallel.MapWithState worker-pool pattern generalised to long-lived
+//     request queues), so independent pairs route in parallel with per-shard
+//     skeleton caches and an optional shared read-only CandidateTable.
+//   - A shard routes a request against the latest snapshot, then submits the
+//     chosen paths to the committer, which validates them against the
+//     authoritative state (optimistic concurrency: a reservation that lost a
+//     race fails cleanly), applies a batch of admissions, bumps the epoch,
+//     publishes the next snapshot, and only then replies. A conflicted
+//     admission is re-routed on the fresh snapshot and retried a bounded
+//     number of times before the request is reported blocked.
+//
+// Per-connection operations are linearized without a per-connection lock:
+// a connection's (s, t) pair pins every op that touches it to one shard, and
+// shards process their queue serially with a synchronous commit handshake,
+// so no two ops on the same connection are ever in flight together.
+//
+// The commit order is the serialization order of the daemon. With the ops
+// journal enabled every commit decision is recorded in that order, and
+// Replay re-executes the journal serially on a fresh network, proving the
+// concurrent schedule equivalent to its serial commit order (the
+// linearizability-style check the concurrency test suite runs).
+package serve
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wdm"
+)
+
+// Algo selects the routing discipline for provision and reroute requests.
+type Algo int
+
+const (
+	// AlgoMinCost is ApproxMinCost (§3.3) — cost only.
+	AlgoMinCost Algo = iota
+	// AlgoMinLoad is Find_Two_Paths_MinCog (§4.1) — load only.
+	AlgoMinLoad
+	// AlgoMinLoadCost is the two-phase §4.2 algorithm — load then cost.
+	AlgoMinLoadCost
+	// AlgoTwoStep is the naive shortest-then-remove baseline.
+	AlgoTwoStep
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoMinCost:
+		return "min-cost"
+	case AlgoMinLoad:
+		return "min-load"
+	case AlgoMinLoadCost:
+		return "min-load-cost"
+	case AlgoTwoStep:
+		return "two-step"
+	}
+	return fmt.Sprintf("Algo(%d)", int(a))
+}
+
+// ParseAlgo maps an algorithm name (the -algo flag / "algo" request field)
+// to the daemon enum.
+func ParseAlgo(s string) (Algo, error) {
+	switch s {
+	case "min-cost":
+		return AlgoMinCost, nil
+	case "min-load":
+		return AlgoMinLoad, nil
+	case "min-load-cost":
+		return AlgoMinLoadCost, nil
+	case "two-step":
+		return AlgoTwoStep, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (min-cost, min-load, min-load-cost, two-step)", s)
+}
+
+// route dispatches to the shard's warm router.
+func (a Algo) route(r *core.Router, net *wdm.Network, s, t int) (*core.Result, bool) {
+	switch a {
+	case AlgoMinCost:
+		return r.ApproxMinCost(net, s, t)
+	case AlgoMinLoad:
+		return r.MinLoad(net, s, t)
+	case AlgoMinLoadCost:
+		return r.MinLoadCost(net, s, t)
+	case AlgoTwoStep:
+		return r.TwoStepMinCost(net, s, t)
+	}
+	panic("serve: unknown algorithm")
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// Shards is the number of routing shards; each owns a region of (s, t)
+	// pairs and a warm router (GOMAXPROCS if 0).
+	Shards int
+	// QueueDepth is the per-shard request queue capacity (128 if 0).
+	QueueDepth int
+	// BatchMax caps how many queued admissions the committer folds into one
+	// epoch (64 if 0).
+	BatchMax int
+	// MaxRetries bounds how often a conflicted admission is re-routed on a
+	// fresh snapshot before the request is reported blocked (4 if 0; -1
+	// disables retries).
+	MaxRetries int
+	// Algorithm is the default routing discipline (AlgoMinCost if unset);
+	// provision requests may override it per call.
+	Algorithm Algo
+	// Opts tunes the per-shard routers (nil for defaults). ReuseResult is
+	// forced on: shards copy routed paths before submitting them.
+	Opts *core.Options
+	// Candidates, when positive, prebuilds a shared read-only candidate
+	// table with k route pairs per (s, t) that every shard tries before the
+	// exact pipeline.
+	Candidates int
+	// JournalCap retains up to this many commit-ordered journal entries for
+	// deterministic replay (0 disables the journal).
+	JournalCap int
+	// Window enables windowed wall-clock telemetry with this window width in
+	// seconds (0 disables telemetry).
+	Window float64
+	// Retention is the telemetry ring size (timeseries.DefaultRetention if 0).
+	Retention int
+	// Tracer, when non-nil, records request-scoped routing traces into its
+	// flight recorder (served on /debug/flight, /debug/explain/<id>).
+	Tracer *obs.Tracer
+}
+
+func (c *Config) shards() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 128
+}
+
+func (c *Config) batchMax() int {
+	if c.BatchMax > 0 {
+		return c.BatchMax
+	}
+	return 64
+}
+
+func (c *Config) maxRetries() int {
+	switch {
+	case c.MaxRetries > 0:
+		return c.MaxRetries
+	case c.MaxRetries < 0:
+		return 0
+	}
+	return 4
+}
+
+// Reasons a request is not accepted, as reported in Response.Reason.
+const (
+	ReasonNoRoute     = "no-route"           // the routing tier found no feasible pair
+	ReasonConflict    = "conflict"           // lost the optimistic race even after retries
+	ReasonDuplicateID = "duplicate-id"       // a live connection already holds the ID
+	ReasonUnknownConn = "unknown-connection" // teardown/reroute of an ID not live
+	ReasonBadRequest  = "bad-request"        // invalid endpoints or ID
+	ReasonClosed      = "engine-closed"      // submitted during/after shutdown
+)
+
+// connState is the registry record of one live connection. Paths are
+// engine-owned copies; the committer is the only writer after admission.
+type connState struct {
+	id       int64
+	s, d     int
+	primary  []wdm.Hop
+	backup   []wdm.Hop
+	cost     float64
+	rerouted int
+}
+
+type opKind uint8
+
+const (
+	opProvision opKind = iota
+	opTeardown
+	opReroute
+	opAudit
+)
+
+// op is one unit of work. It carries two one-shot reply channels: commit is
+// the shard↔committer handshake, done delivers the final verdict to the
+// caller blocked in Provision/Teardown/Reroute. They must be distinct — a
+// retried op crosses the commit channel several times, and only the shard
+// may decide which crossing is final.
+type op struct {
+	kind opKind
+	id   int64
+	s, d int
+	algo Algo
+
+	// New paths (provision, reroute): op-owned copies of the routed pair.
+	primary, backup []wdm.Hop
+	cost, pathLoad  float64
+	// Old paths to release (teardown, reroute): copies of the registry state.
+	oldPrimary, oldBackup []wdm.Hop
+
+	snapEpoch uint64 // epoch the paths were routed against
+	retries   int
+	audit     func(cur *wdm.Network) error // opAudit only
+
+	commit chan commitResult
+	done   chan commitResult
+}
+
+func newOp(kind opKind, id int64, s, d int, algo Algo) *op {
+	return &op{kind: kind, id: id, s: s, d: d, algo: algo,
+		commit: make(chan commitResult, 1), done: make(chan commitResult, 1)}
+}
+
+type commitResult struct {
+	ok       bool
+	conflict bool
+	reason   string
+	epoch    uint64 // epoch the decision committed into
+	err      error  // opAudit verdict
+}
+
+// engineStats are the daemon's aggregate counters, updated atomically so
+// /status never blocks the data path.
+type engineStats struct {
+	provisions atomic.Int64
+	accepted   atomic.Int64
+	blocked    atomic.Int64
+	teardowns  atomic.Int64
+	reroutes   atomic.Int64
+	rerouteOK  atomic.Int64
+	conflicts  atomic.Int64 // commit-time reservation conflicts (pre-retry)
+	retries    atomic.Int64 // re-route attempts after a conflict
+	audits     atomic.Int64
+}
+
+// Engine is the daemon: sharded routing over epoch snapshots with a
+// serialized batch committer. Create with New, run with Start, serve its
+// Handler, stop with Close.
+type Engine struct {
+	cfg   Config
+	nodes int
+	w     int
+
+	store  *store
+	shards []*shard
+
+	commitCh chan *op
+	batch    []*op
+	results  []commitResult
+
+	connMu sync.RWMutex
+	conns  map[int64]*connState
+
+	stats   engineStats
+	journal journal
+	tel     *telemetry
+	start   time.Time
+
+	mu       sync.Mutex
+	started  bool
+	closed   bool
+	inflight sync.WaitGroup
+	shardWg  sync.WaitGroup
+	commitWg sync.WaitGroup
+}
+
+// shard owns one region of (s, t) pairs: a serial request queue and a warm
+// router. All ops touching a connection land on the shard of its pair, which
+// linearizes per-connection histories for free.
+type shard struct {
+	idx    int
+	e      *Engine
+	q      chan *op
+	router *core.Router
+}
+
+// New builds an engine over a private clone of net. Call Start before
+// submitting requests.
+func New(net *wdm.Network, cfg Config) *Engine {
+	st := newStore(net)
+	e := &Engine{
+		cfg:      cfg,
+		nodes:    net.Nodes(),
+		w:        net.W(),
+		store:    st,
+		commitCh: make(chan *op, cfg.shards()*2+4),
+		conns:    make(map[int64]*connState),
+		journal:  journal{cap: cfg.JournalCap},
+		start:    time.Now(),
+	}
+	// Per-shard router options: ReuseResult is safe (shards copy paths out
+	// immediately) and the candidate table — built once from the
+	// authoritative clone — is read-only, so every shard may share it.
+	var ropts core.Options
+	if cfg.Opts != nil {
+		ropts = *cfg.Opts
+	}
+	ropts.ReuseResult = true
+	if cfg.Candidates > 0 && ropts.CandidateTable == nil {
+		ropts.CandidateTable = core.NewCandidateTable(st.cur, cfg.Candidates)
+	}
+	e.shards = make([]*shard, cfg.shards())
+	for i := range e.shards {
+		opts := ropts
+		r := core.NewRouter(&opts)
+		r.SetTracer(cfg.Tracer)
+		e.shards[i] = &shard{idx: i, e: e, q: make(chan *op, cfg.queueDepth()), router: r}
+	}
+	e.tel = newTelemetry(e, cfg.Window, cfg.Retention)
+	return e
+}
+
+// Nodes returns |V| of the served network.
+func (e *Engine) Nodes() int { return e.nodes }
+
+// W returns the wavelength count of the served network.
+func (e *Engine) W() int { return e.w }
+
+// Start launches the shard workers and the committer. It is an error to
+// start twice or after Close.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("serve: engine already started")
+	}
+	if e.closed {
+		return fmt.Errorf("serve: engine closed")
+	}
+	e.started = true
+	for _, sh := range e.shards {
+		e.shardWg.Add(1)
+		go sh.run()
+	}
+	e.commitWg.Add(1)
+	go e.runCommitter()
+	e.tel.startTicker()
+	instr.shards.Set(float64(len(e.shards)))
+	return nil
+}
+
+// Close drains the engine: in-flight requests complete, queues empty, the
+// committer publishes its final epoch, and telemetry is sealed and flushed.
+// It returns the first telemetry sink error, if any, and is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return e.tel.err()
+	}
+	e.closed = true
+	started := e.started
+	e.mu.Unlock()
+
+	e.inflight.Wait() // every dispatched request has its verdict
+	if started {
+		for _, sh := range e.shards {
+			close(sh.q)
+		}
+		e.shardWg.Wait()
+		close(e.commitCh)
+		e.commitWg.Wait()
+	}
+	return e.tel.close()
+}
+
+// enter registers an in-flight request; it fails when the engine is not
+// accepting work. Exit via e.inflight.Done().
+func (e *Engine) enter() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.started || e.closed {
+		return false
+	}
+	e.inflight.Add(1)
+	return true
+}
+
+// shardOf maps an (s, t) pair to its owning shard.
+func (e *Engine) shardOf(s, d int) *shard {
+	h := uint64(s)*0x9E3779B97F4A7C15 + uint64(d)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// Provision routes and establishes a new connection. The request's Algo
+// field, when non-empty, overrides the engine default per call.
+func (e *Engine) Provision(req Request) Response {
+	t0 := time.Now()
+	algo := e.cfg.Algorithm
+	if req.Algo != "" {
+		a, err := ParseAlgo(req.Algo)
+		if err != nil {
+			return rejectResponse(req.ID, "provision", ReasonBadRequest, err.Error())
+		}
+		algo = a
+	}
+	if req.ID < 0 || req.Src < 0 || req.Src >= e.nodes || req.Dst < 0 || req.Dst >= e.nodes || req.Src == req.Dst {
+		return rejectResponse(req.ID, "provision", ReasonBadRequest,
+			fmt.Sprintf("want 0 <= src,dst < %d, src != dst, id >= 0", e.nodes))
+	}
+	if !e.enter() {
+		return rejectResponse(req.ID, "provision", ReasonClosed, "")
+	}
+	defer e.inflight.Done()
+	e.stats.provisions.Add(1)
+	instr.provisions.Inc()
+
+	o := newOp(opProvision, req.ID, req.Src, req.Dst, algo)
+	e.shardOf(req.Src, req.Dst).q <- o
+	return e.finishOp(o, <-o.done, "provision", t0)
+}
+
+// Teardown releases a live connection.
+func (e *Engine) Teardown(id int64) Response {
+	t0 := time.Now()
+	if !e.enter() {
+		return rejectResponse(id, "teardown", ReasonClosed, "")
+	}
+	defer e.inflight.Done()
+	e.stats.teardowns.Add(1)
+	instr.teardowns.Inc()
+
+	c, ok := e.lookupConn(id)
+	if !ok {
+		e.tel.observe("teardown", time.Since(t0), false)
+		return rejectResponse(id, "teardown", ReasonUnknownConn, "")
+	}
+	o := newOp(opTeardown, id, c.s, c.d, 0)
+	e.shardOf(c.s, c.d).q <- o
+	return e.finishOp(o, <-o.done, "teardown", t0)
+}
+
+// Reroute computes a fresh pair for a live connection on the current
+// snapshot and atomically swaps it in at commit (make-before-break: the old
+// paths are released and the new ones reserved inside one epoch; on a lost
+// race the old paths are restored and the reroute retried).
+func (e *Engine) Reroute(id int64) Response {
+	t0 := time.Now()
+	if !e.enter() {
+		return rejectResponse(id, "reroute", ReasonClosed, "")
+	}
+	defer e.inflight.Done()
+	e.stats.reroutes.Add(1)
+	instr.reroutes.Inc()
+
+	c, ok := e.lookupConn(id)
+	if !ok {
+		e.tel.observe("reroute", time.Since(t0), false)
+		return rejectResponse(id, "reroute", ReasonUnknownConn, "")
+	}
+	o := newOp(opReroute, id, c.s, c.d, e.cfg.Algorithm)
+	e.shardOf(c.s, c.d).q <- o
+	return e.finishOp(o, <-o.done, "reroute", t0)
+}
+
+// Audit runs the verification oracle at a quiescent point in commit order:
+// it flows through the committer like any admission, so it observes a state
+// with no half-applied batch. It validates the Eq. 2 load bookkeeping, every
+// live connection's reservation legality and pairwise edge-disjointness, and
+// exact capacity conservation (each busy (link, λ) channel is held by
+// exactly one live connection, and no channel by two).
+func (e *Engine) Audit() error {
+	if !e.enter() {
+		return fmt.Errorf("serve: %s", ReasonClosed)
+	}
+	defer e.inflight.Done()
+	e.stats.audits.Add(1)
+	o := newOp(opAudit, 0, 0, 0, 0)
+	o.audit = e.oracle
+	e.commitCh <- o
+	cr := <-o.commit
+	return cr.err
+}
+
+// finishOp folds a commit verdict into counters, telemetry and the response.
+func (e *Engine) finishOp(o *op, cr commitResult, kind string, t0 time.Time) Response {
+	e.tel.observe(kind, time.Since(t0), cr.ok)
+	instr.requestTime.Stop(t0)
+	resp := Response{
+		ID:       o.id,
+		Op:       kind,
+		Accepted: cr.ok,
+		Reason:   cr.reason,
+		Epoch:    cr.epoch,
+		Shard:    e.shardOf(o.s, o.d).idx,
+		Retries:  o.retries,
+	}
+	switch o.kind {
+	case opProvision:
+		if cr.ok {
+			e.stats.accepted.Add(1)
+			instr.accepted.Inc()
+			resp.Cost = o.cost
+			resp.PathLoad = o.pathLoad
+			resp.Primary = hopsJSON(o.primary)
+			resp.Backup = hopsJSON(o.backup)
+		} else {
+			e.stats.blocked.Add(1)
+			instr.blocked.Inc()
+		}
+	case opReroute:
+		if cr.ok {
+			e.stats.rerouteOK.Add(1)
+			resp.Cost = o.cost
+			resp.PathLoad = o.pathLoad
+			resp.Primary = hopsJSON(o.primary)
+			resp.Backup = hopsJSON(o.backup)
+		}
+	}
+	e.syncGauges()
+	return resp
+}
+
+// run is the shard worker loop: serial over the shard's region, so ops on
+// the same connection never overlap.
+func (sh *shard) run() {
+	defer sh.e.shardWg.Done()
+	for o := range sh.q {
+		switch o.kind {
+		case opProvision:
+			sh.provision(o)
+		case opTeardown:
+			sh.teardown(o)
+		case opReroute:
+			sh.reroute(o)
+		}
+	}
+}
+
+// provision routes on the latest snapshot and commits, re-routing on a
+// fresh snapshot after each optimistic conflict up to the retry budget.
+func (sh *shard) provision(o *op) {
+	e := sh.e
+	for {
+		snap := e.store.load()
+		rt := instr.routeTime.Start()
+		res, ok := o.algo.route(sh.router, snap.net, o.s, o.d)
+		instr.routeTime.Stop(rt)
+		if !ok {
+			o.done <- commitResult{ok: false, reason: ReasonNoRoute, epoch: snap.epoch}
+			return
+		}
+		o.primary = copyHops(o.primary, res.Primary)
+		o.backup = copyHops(o.backup, res.Backup)
+		o.cost, o.pathLoad = res.Cost, res.PathLoad
+		o.snapEpoch = snap.epoch
+		e.commitCh <- o
+		cr := <-o.commit
+		if cr.conflict && o.retries < e.cfg.maxRetries() {
+			o.retries++
+			e.stats.retries.Add(1)
+			instr.retries.Inc()
+			continue
+		}
+		o.done <- cr
+		return
+	}
+}
+
+// teardown snapshots the connection's current paths (stable: ops on this
+// connection are serialized through this shard) and commits the release.
+func (sh *shard) teardown(o *op) {
+	e := sh.e
+	c, ok := e.lookupConn(o.id)
+	if !ok {
+		o.done <- commitResult{ok: false, reason: ReasonUnknownConn, epoch: e.store.load().epoch}
+		return
+	}
+	o.oldPrimary = append(o.oldPrimary[:0], c.primary...)
+	o.oldBackup = append(o.oldBackup[:0], c.backup...)
+	e.commitCh <- o
+	o.done <- <-o.commit
+}
+
+// reroute routes a fresh pair on the latest snapshot (the connection's own
+// wavelengths still held — make-before-break) and commits the swap.
+func (sh *shard) reroute(o *op) {
+	e := sh.e
+	for {
+		c, ok := e.lookupConn(o.id)
+		if !ok {
+			o.done <- commitResult{ok: false, reason: ReasonUnknownConn, epoch: e.store.load().epoch}
+			return
+		}
+		o.oldPrimary = append(o.oldPrimary[:0], c.primary...)
+		o.oldBackup = append(o.oldBackup[:0], c.backup...)
+		snap := e.store.load()
+		rt := instr.routeTime.Start()
+		res, ok := o.algo.route(sh.router, snap.net, o.s, o.d)
+		instr.routeTime.Stop(rt)
+		if !ok {
+			o.done <- commitResult{ok: false, reason: ReasonNoRoute, epoch: snap.epoch}
+			return
+		}
+		o.primary = copyHops(o.primary, res.Primary)
+		o.backup = copyHops(o.backup, res.Backup)
+		o.cost, o.pathLoad = res.Cost, res.PathLoad
+		o.snapEpoch = snap.epoch
+		e.commitCh <- o
+		cr := <-o.commit
+		if cr.conflict && o.retries < e.cfg.maxRetries() {
+			o.retries++
+			e.stats.retries.Add(1)
+			instr.retries.Inc()
+			continue
+		}
+		o.done <- cr
+		return
+	}
+}
+
+// runCommitter is the single writer: it folds queued ops into batches,
+// applies each batch to the authoritative network, advances the epoch, and
+// publishes the next copy-on-write snapshot before releasing the replies —
+// so an acknowledged op is always visible in the next snapshot its caller
+// can load.
+func (e *Engine) runCommitter() {
+	defer e.commitWg.Done()
+	for o := range e.commitCh {
+		e.batch = append(e.batch[:0], o)
+	fill:
+		for len(e.batch) < e.cfg.batchMax() {
+			select {
+			case o2, ok := <-e.commitCh:
+				if !ok {
+					break fill
+				}
+				e.batch = append(e.batch, o2)
+			default:
+				break fill
+			}
+		}
+		e.applyBatch(e.batch)
+	}
+}
+
+// applyBatch commits one batch: apply every op in order, publish one new
+// epoch if anything changed, then reply.
+func (e *Engine) applyBatch(batch []*op) {
+	e.results = e.results[:0]
+	dirty := false
+	for _, o := range batch {
+		cr := e.applyOne(o)
+		if cr.ok && o.kind != opAudit {
+			dirty = true
+		}
+		e.results = append(e.results, cr)
+	}
+	epoch := e.store.load().epoch
+	if dirty {
+		epoch = e.store.publish()
+		instr.epochs.Inc()
+		instr.epoch.Set(float64(epoch))
+		e.tel.epochSealed(len(batch))
+	}
+	for i, o := range batch {
+		cr := e.results[i]
+		cr.epoch = epoch
+		if o.kind != opAudit {
+			e.journal.record(o, cr)
+		}
+		o.commit <- cr
+	}
+}
+
+// applyOne validates and applies a single op against the authoritative
+// network. Reservation failures are reported as conflicts (the op was routed
+// on a stale snapshot) and never applied partially: wdm.Reserve rolls back.
+func (e *Engine) applyOne(o *op) commitResult {
+	cur := e.store.cur
+	switch o.kind {
+	case opProvision:
+		if _, dup := e.lookupConn(o.id); dup {
+			return commitResult{ok: false, reason: ReasonDuplicateID}
+		}
+		p := &wdm.Semilightpath{Hops: o.primary}
+		b := &wdm.Semilightpath{Hops: o.backup}
+		if err := cur.Reserve(p); err != nil {
+			e.stats.conflicts.Add(1)
+			instr.conflicts.Inc()
+			return commitResult{conflict: true, reason: ReasonConflict}
+		}
+		if err := cur.Reserve(b); err != nil {
+			e.mustRelease(o.primary)
+			e.stats.conflicts.Add(1)
+			instr.conflicts.Inc()
+			return commitResult{conflict: true, reason: ReasonConflict}
+		}
+		e.putConn(&connState{
+			id: o.id, s: o.s, d: o.d,
+			primary: append([]wdm.Hop(nil), o.primary...),
+			backup:  append([]wdm.Hop(nil), o.backup...),
+			cost:    o.cost,
+		})
+		return commitResult{ok: true}
+
+	case opTeardown:
+		if _, live := e.lookupConn(o.id); !live {
+			return commitResult{ok: false, reason: ReasonUnknownConn}
+		}
+		e.mustRelease(o.oldPrimary)
+		e.mustRelease(o.oldBackup)
+		e.delConn(o.id)
+		return commitResult{ok: true}
+
+	case opReroute:
+		c, live := e.lookupConn(o.id)
+		if !live {
+			return commitResult{ok: false, reason: ReasonUnknownConn}
+		}
+		e.mustRelease(o.oldPrimary)
+		e.mustRelease(o.oldBackup)
+		p := &wdm.Semilightpath{Hops: o.primary}
+		b := &wdm.Semilightpath{Hops: o.backup}
+		err := cur.Reserve(p)
+		if err == nil {
+			if err = cur.Reserve(b); err != nil {
+				e.mustRelease(o.primary)
+			}
+		}
+		if err != nil {
+			// Lost the race: restore the old paths (they were just released
+			// within this serialized commit step, so this cannot fail) and
+			// let the shard retry on the fresh snapshot.
+			e.mustReserve(o.oldPrimary)
+			e.mustReserve(o.oldBackup)
+			e.stats.conflicts.Add(1)
+			instr.conflicts.Inc()
+			return commitResult{conflict: true, reason: ReasonConflict}
+		}
+		e.connMu.Lock()
+		c.primary = append(c.primary[:0], o.primary...)
+		c.backup = append(c.backup[:0], o.backup...)
+		c.cost = o.cost
+		c.rerouted++
+		e.connMu.Unlock()
+		return commitResult{ok: true}
+
+	case opAudit:
+		return commitResult{ok: true, err: o.audit(cur)}
+	}
+	panic("serve: unknown op kind")
+}
+
+// mustRelease returns held wavelengths to the pool; failure means the
+// engine's bookkeeping is corrupt, which is unrecoverable.
+func (e *Engine) mustRelease(hops []wdm.Hop) {
+	sl := wdm.Semilightpath{Hops: hops}
+	if err := e.store.cur.ReleasePath(&sl); err != nil {
+		panic("serve: inconsistent release: " + err.Error())
+	}
+}
+
+// mustReserve re-locks wavelengths released earlier in the same serialized
+// commit step; failure is likewise unrecoverable.
+func (e *Engine) mustReserve(hops []wdm.Hop) {
+	sl := wdm.Semilightpath{Hops: hops}
+	if err := e.store.cur.Reserve(&sl); err != nil {
+		panic("serve: inconsistent re-reserve: " + err.Error())
+	}
+}
+
+// oracle is the Audit validation pass; it runs on the committer goroutine.
+func (e *Engine) oracle(cur *wdm.Network) error {
+	if err := check.LoadAccounting(cur); err != nil {
+		return err
+	}
+	type chanKey struct{ link, lambda int }
+	held := make(map[chanKey]int64)
+	e.connMu.RLock()
+	defer e.connMu.RUnlock()
+	for id, c := range e.conns {
+		p := &wdm.Semilightpath{Hops: c.primary}
+		b := &wdm.Semilightpath{Hops: c.backup}
+		if err := check.Path(cur, p, c.s, c.d); err != nil {
+			return fmt.Errorf("conn %d primary: %w", id, err)
+		}
+		if err := check.Reserved(cur, p); err != nil {
+			return fmt.Errorf("conn %d primary: %w", id, err)
+		}
+		if err := check.Path(cur, b, c.s, c.d); err != nil {
+			return fmt.Errorf("conn %d backup: %w", id, err)
+		}
+		if err := check.Reserved(cur, b); err != nil {
+			return fmt.Errorf("conn %d backup: %w", id, err)
+		}
+		if err := check.EdgeDisjoint(p, b); err != nil {
+			return fmt.Errorf("conn %d: %w", id, err)
+		}
+		for _, hops := range [2][]wdm.Hop{c.primary, c.backup} {
+			for _, h := range hops {
+				k := chanKey{h.Link, h.Wavelength}
+				if prev, dup := held[k]; dup {
+					return fmt.Errorf("channel (link %d, λ%d) double-booked by conns %d and %d",
+						h.Link, h.Wavelength, prev, id)
+				}
+				held[k] = id
+			}
+		}
+	}
+	// Conservation: every busy channel is held by exactly one connection and
+	// every available channel by none.
+	for id := 0; id < cur.Links(); id++ {
+		l := cur.Link(id)
+		var leak error
+		l.Lambda().ForEach(func(lam int) bool {
+			if l.HasAvail(lam) {
+				if owner, dup := held[chanKey{id, lam}]; dup {
+					leak = fmt.Errorf("channel (link %d, λ%d) available but held by conn %d", id, lam, owner)
+					return false
+				}
+				return true
+			}
+			if _, ok := held[chanKey{id, lam}]; !ok {
+				leak = fmt.Errorf("channel (link %d, λ%d) busy but owned by no live connection", id, lam)
+				return false
+			}
+			return true
+		})
+		if leak != nil {
+			return leak
+		}
+	}
+	return nil
+}
+
+// lookupConn fetches a registry record (shared pointer; the committer is the
+// only mutator of path fields, shards copy them before use).
+func (e *Engine) lookupConn(id int64) (*connState, bool) {
+	e.connMu.RLock()
+	c, ok := e.conns[id]
+	e.connMu.RUnlock()
+	return c, ok
+}
+
+func (e *Engine) putConn(c *connState) {
+	e.connMu.Lock()
+	e.conns[c.id] = c
+	e.connMu.Unlock()
+}
+
+func (e *Engine) delConn(id int64) {
+	e.connMu.Lock()
+	delete(e.conns, id)
+	e.connMu.Unlock()
+}
+
+// LiveConnections returns the number of currently established connections.
+func (e *Engine) LiveConnections() int {
+	e.connMu.RLock()
+	n := len(e.conns)
+	e.connMu.RUnlock()
+	return n
+}
+
+// LiveIDs returns the IDs of all live connections (order unspecified) — the
+// drain hook for soak drivers and tests.
+func (e *Engine) LiveIDs() []int64 {
+	e.connMu.RLock()
+	ids := make([]int64, 0, len(e.conns))
+	for id := range e.conns {
+		ids = append(ids, id)
+	}
+	e.connMu.RUnlock()
+	return ids
+}
+
+// Snapshot returns the current epoch and its frozen network. The returned
+// network is immutable and shared — read only. A caller holding the pointer
+// is pinned to that epoch: later commits never mutate it.
+func (e *Engine) Snapshot() (uint64, *wdm.Network) {
+	s := e.store.load()
+	return s.epoch, s.net
+}
+
+// Journal returns a copy of the commit-ordered ops journal and whether it
+// was truncated at the configured capacity.
+func (e *Engine) Journal() ([]JournalEntry, bool) {
+	return e.journal.snapshot()
+}
+
+// syncGauges refreshes the live progress gauges after each request.
+func (e *Engine) syncGauges() {
+	instr.liveConns.Set(float64(e.LiveConnections()))
+	prov := e.stats.provisions.Load()
+	if prov > 0 {
+		instr.blockingProb.Set(float64(e.stats.blocked.Load()) / float64(prov))
+	}
+}
+
+// Stats is the /status payload.
+type Stats struct {
+	Epoch        uint64  `json:"epoch"`
+	StateVersion uint64  `json:"state_version"`
+	Nodes        int     `json:"nodes"`
+	Links        int     `json:"links"`
+	W            int     `json:"wavelengths"`
+	Shards       int     `json:"shards"`
+	LiveConns    int     `json:"live_connections"`
+	NetworkLoad  float64 `json:"network_load"`
+	Provisions   int64   `json:"provisions"`
+	Accepted     int64   `json:"accepted"`
+	Blocked      int64   `json:"blocked"`
+	Teardowns    int64   `json:"teardowns"`
+	Reroutes     int64   `json:"reroutes"`
+	RerouteOK    int64   `json:"reroute_ok"`
+	Conflicts    int64   `json:"conflicts"`
+	Retries      int64   `json:"retries"`
+	BlockingProb float64 `json:"blocking_probability"`
+	Uptime       float64 `json:"uptime_seconds"`
+}
+
+// Status reports the daemon's aggregate state from the latest snapshot; it
+// never touches the authoritative network or any queue.
+func (e *Engine) Status() Stats {
+	snap := e.store.load()
+	st := Stats{
+		Epoch:        snap.epoch,
+		StateVersion: snap.net.StateVersion(),
+		Nodes:        e.nodes,
+		Links:        snap.net.Links(),
+		W:            e.w,
+		Shards:       len(e.shards),
+		LiveConns:    e.LiveConnections(),
+		NetworkLoad:  snap.net.NetworkLoad(),
+		Provisions:   e.stats.provisions.Load(),
+		Accepted:     e.stats.accepted.Load(),
+		Blocked:      e.stats.blocked.Load(),
+		Teardowns:    e.stats.teardowns.Load(),
+		Reroutes:     e.stats.reroutes.Load(),
+		RerouteOK:    e.stats.rerouteOK.Load(),
+		Conflicts:    e.stats.conflicts.Load(),
+		Retries:      e.stats.retries.Load(),
+		Uptime:       time.Since(e.start).Seconds(),
+	}
+	if st.Provisions > 0 {
+		st.BlockingProb = float64(st.Blocked) / float64(st.Provisions)
+	}
+	if math.IsNaN(st.NetworkLoad) {
+		st.NetworkLoad = 0
+	}
+	return st
+}
+
+// copyHops copies a routed semilightpath into op-owned storage (the router's
+// arena is overwritten by its next call).
+func copyHops(dst []wdm.Hop, p *wdm.Semilightpath) []wdm.Hop {
+	if p == nil {
+		return dst[:0]
+	}
+	return append(dst[:0], p.Hops...)
+}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// Telemetry series names, as they appear in /debug/timeseries and the
+// JSONL/CSV export. They mirror the simulator's series where the semantics
+// match, so soak curves from wdmsim and wdmd plot on the same axes.
+const (
+	// SeriesRequestLatency is the end-to-end request latency histogram
+	// (seconds, queue + route + commit; p50/p95/p99 per window).
+	SeriesRequestLatency = "request_latency_seconds"
+	// SeriesBlocking is the per-window blocking probability over provisions.
+	SeriesBlocking = "blocking"
+	// SeriesAccepted counts provisions accepted per window.
+	SeriesAccepted = "accepted"
+	// SeriesTeardowns counts teardowns per window.
+	SeriesTeardowns = "teardowns"
+	// SeriesReroutes counts reroute requests per window.
+	SeriesReroutes = "reroutes"
+	// SeriesEpochs counts epochs published per window.
+	SeriesEpochs = "epochs"
+	// SeriesBatchFill is the mean committed batch size per window.
+	SeriesBatchFill = "batch_fill"
+	// SeriesActiveConns gauges the live connection count at each seal.
+	SeriesActiveConns = "active_conns"
+	// SeriesLinkLoadMean / SeriesLinkLoadMax gauge per-link ρ(e) aggregates
+	// at each seal; the max is the network load ρ of Eq. 2.
+	SeriesLinkLoadMean = "link_load_mean"
+	SeriesLinkLoadMax  = "link_load_max"
+	// SeriesFragMean gauges mean first-fit wavelength fragmentation.
+	SeriesFragMean = "frag_mean"
+)
+
+// telemetry adapts the single-owner timeseries.Collector to the daemon's
+// many-goroutine request path: every instrument write happens under one
+// mutex (the collector's owner-goroutine contract is "one writer at a
+// time", which a mutex provides just as well as a single goroutine), and a
+// ticker goroutine advances the wall-clock windows so curves seal even when
+// the daemon is idle. A nil-window telemetry is permanently off and costs
+// one nil check per request.
+type telemetry struct {
+	e   *Engine
+	col *timeseries.Collector
+
+	mu       sync.Mutex
+	reqLat   *timeseries.Histogram
+	blocking *timeseries.Ratio
+	accepted *timeseries.Rate
+	tears    *timeseries.Rate
+	routes   *timeseries.Rate
+	epochs   *timeseries.Rate
+	fill     *timeseries.Gauge
+	active   *timeseries.Gauge
+	loadMean *timeseries.Gauge
+	loadMax  *timeseries.Gauge
+	fragMean *timeseries.Gauge
+
+	clock    *timeseries.WallClock
+	netState atomic.Pointer[timeseries.NetState]
+	sink     timeseries.Sink
+	closer   func() error
+
+	stop chan struct{}
+	tick sync.WaitGroup
+}
+
+// newTelemetry builds the bundle; window <= 0 disables it (all methods
+// no-op on the nil receiver).
+func newTelemetry(e *Engine, window float64, retention int) *telemetry {
+	if window <= 0 {
+		return nil
+	}
+	clock := timeseries.NewWallClock()
+	col := timeseries.New(timeseries.Config{Window: window, Retention: retention, Clock: clock})
+	t := &telemetry{
+		e:        e,
+		col:      col,
+		clock:    clock,
+		reqLat:   col.Histogram(SeriesRequestLatency, nil),
+		blocking: col.Ratio(SeriesBlocking),
+		accepted: col.Rate(SeriesAccepted),
+		tears:    col.Rate(SeriesTeardowns),
+		routes:   col.Rate(SeriesReroutes),
+		epochs:   col.Rate(SeriesEpochs),
+		fill:     col.Gauge(SeriesBatchFill),
+		active:   col.Gauge(SeriesActiveConns),
+		loadMean: col.Gauge(SeriesLinkLoadMean),
+		loadMax:  col.Gauge(SeriesLinkLoadMax),
+		fragMean: col.Gauge(SeriesFragMean),
+		stop:     make(chan struct{}),
+	}
+	col.OnSeal(func(at float64) {
+		// OnSeal runs with the collector unlocked, on whichever goroutine
+		// sealed the window (ticker or a request under t.mu — both safe: the
+		// probe reads only the immutable epoch snapshot).
+		ns := timeseries.ProbeNetwork(e.store.load().net, at, e.LiveConnections())
+		t.loadMean.Set(ns.MeanLoad)
+		t.loadMax.Set(ns.MaxLoad)
+		t.fragMean.Set(ns.MeanFrag)
+		t.active.Set(float64(ns.ActiveConns))
+		t.netState.Store(ns)
+	})
+	return t
+}
+
+// SetSink attaches a streaming export sink plus its closer (e.g. a JSONL
+// writer over a file); call before Start.
+func (t *telemetry) SetSink(s timeseries.Sink, closer func() error) {
+	if t == nil {
+		return
+	}
+	t.sink = s
+	t.closer = closer
+	t.col.SetSink(s)
+}
+
+// collector exposes the underlying collector for /debug/timeseries (nil
+// when telemetry is off).
+func (t *telemetry) collector() *timeseries.Collector {
+	if t == nil {
+		return nil
+	}
+	return t.col
+}
+
+// state returns the latest sealed network snapshot for /debug/net.
+func (t *telemetry) state() *timeseries.NetState {
+	if t == nil {
+		return nil
+	}
+	return t.netState.Load()
+}
+
+// startTicker launches the window-advancing goroutine (4 ticks per window,
+// so idle periods still seal on time).
+func (t *telemetry) startTicker() {
+	if t == nil {
+		return
+	}
+	period := time.Duration(t.col.Window() / 4 * float64(time.Second))
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t.tick.Add(1)
+	go func() {
+		defer t.tick.Done()
+		tk := time.NewTicker(period)
+		defer tk.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tk.C:
+				t.mu.Lock()
+				t.col.Advance(t.clock.Now())
+				t.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// observe records one finished request.
+func (t *telemetry) observe(kind string, lat time.Duration, ok bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.col.Advance(t.clock.Now())
+	t.reqLat.Observe(lat.Seconds())
+	switch kind {
+	case "provision":
+		t.blocking.Observe(!ok)
+		if ok {
+			t.accepted.Inc()
+		}
+	case "teardown":
+		t.tears.Inc()
+	case "reroute":
+		t.routes.Inc()
+	}
+}
+
+// epochSealed records one published epoch and its batch size (committer
+// goroutine).
+func (t *telemetry) epochSealed(batch int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.epochs.Inc()
+	t.fill.Set(float64(batch))
+}
+
+// SetTelemetrySink attaches a streaming export sink (JSONL/CSV over a file)
+// plus its closer to the engine's telemetry; call before Start. No-op when
+// telemetry is disabled.
+func (e *Engine) SetTelemetrySink(s timeseries.Sink, closer func() error) {
+	e.tel.SetSink(s, closer)
+}
+
+// Collector exposes the telemetry collector for /debug/timeseries (nil when
+// telemetry is disabled).
+func (e *Engine) Collector() *timeseries.Collector { return e.tel.collector() }
+
+// NetState returns the latest sealed per-link network snapshot for
+// /debug/net (nil before the first seal or when telemetry is disabled).
+func (e *Engine) NetState() *timeseries.NetState { return e.tel.state() }
+
+// err reports the first sink error without closing.
+func (t *telemetry) err() error {
+	if t == nil {
+		return nil
+	}
+	return t.col.SinkErr()
+}
+
+// close stops the ticker, seals the final partial window, and closes the
+// sink. The first error wins — this is why Engine.Close returns an error
+// worth checking.
+func (t *telemetry) close() error {
+	if t == nil {
+		return nil
+	}
+	close(t.stop)
+	t.tick.Wait()
+	t.mu.Lock()
+	t.col.Seal()
+	t.mu.Unlock()
+	err := t.col.SinkErr()
+	if t.closer != nil {
+		if cerr := t.closer(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
