@@ -6,11 +6,15 @@
 //
 // Usage:
 //
-//	wdmlint [-json] [-rules r1,r2] [-list] [packages...]
+//	wdmlint [-json] [-sarif] [-rules r1,r2] [-since ref] [-list] [packages...]
 //
-// Packages default to ./... . Exit status is 1 when findings are reported,
-// 2 when loading or typechecking fails. Findings are suppressed case by case
-// with `//wdmlint:ignore <rule> <reason>` on the offending line or the line
+// Packages default to ./... . With -since, packages are derived from the
+// files changed since the git ref instead — the fast incremental tier; the
+// call-graph rules then see only the changed packages, so the full run stays
+// the CI gate. -sarif emits SARIF 2.1.0 for GitHub code scanning. Exit
+// status is 1 when findings are reported, 2 when loading or typechecking
+// fails. Findings are suppressed case by case with
+// `//wdmlint:ignore <rule> <reason>` on the offending line or the line
 // above.
 package main
 
@@ -28,7 +32,9 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (GitHub code scanning)")
 	ruleList := flag.String("rules", "", "comma-separated rules to run (default: all)")
+	since := flag.String("since", "", "lint only packages with files changed since this git ref")
 	list := flag.Bool("list", false, "list available rules and exit")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -49,6 +55,24 @@ func main() {
 		os.Exit(2)
 	}
 	patterns := flag.Args()
+	if *since != "" {
+		changed, err := changedPackagePatterns(*since)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wdmlint:", err)
+			os.Exit(2)
+		}
+		if len(changed) == 0 {
+			fmt.Fprintf(os.Stderr, "wdmlint: no Go packages changed since %s\n", *since)
+			if *sarifOut {
+				if err := writeSARIF(os.Stdout, active, nil); err != nil {
+					fmt.Fprintln(os.Stderr, "wdmlint:", err)
+					os.Exit(2)
+				}
+			}
+			return
+		}
+		patterns = changed
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -58,7 +82,13 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, active)
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, active, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "wdmlint:", err)
+			os.Exit(2)
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -68,13 +98,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wdmlint:", err)
 			os.Exit(2)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "wdmlint: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// changedPackagePatterns maps the Go files changed since ref (committed or
+// not) to package patterns for a fast incremental lint pass. A go.mod change
+// widens the answer to the whole module. Deleted directories and testdata
+// trees are dropped. An empty slice means nothing lintable changed.
+//
+// The fast tier trades the program-wide view for speed: the call-graph rules
+// only see the changed packages, so cross-package violations introduced from
+// an unchanged caller can escape it. The full run remains the CI gate.
+func changedPackagePatterns(ref string) ([]string, error) {
+	cmd := exec.Command("git", "diff", "--name-only", ref, "--")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("git diff --name-only %s: %v\n%s", ref, err, stderr.Bytes())
+	}
+	dirs := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+		case line == "go.mod" || line == "go.sum":
+			return []string{"./..."}, nil
+		case !strings.HasSuffix(line, ".go"):
+		case strings.HasSuffix(line, "_test.go"):
+			// Lint loads build packages only; test files never reach it.
+		case strings.Contains(line, "testdata/") || strings.HasPrefix(line, "testdata"):
+		default:
+			dir := filepath.Dir(line)
+			if st, err := os.Stat(dir); err == nil && st.IsDir() {
+				dirs["./"+filepath.ToSlash(dir)] = true
+			}
+		}
+	}
+	patterns := make([]string, 0, len(dirs))
+	for d := range dirs {
+		patterns = append(patterns, d)
+	}
+	sort.Strings(patterns)
+	return patterns, nil
+}

@@ -401,6 +401,8 @@ func (sk *Skeleton) Reweight(p Params) *Aux {
 // requested pair's are enabled (gated by the link filter), and everything
 // else proceeds exactly as Reweight. On a fixed skeleton it accepts only the
 // pair the skeleton was built for.
+//
+//wdm:hotpath
 func (sk *Skeleton) ReweightAt(s, t int, p Params) *Aux {
 	if !sk.shared {
 		if s != sk.s || t != sk.t {
@@ -456,6 +458,7 @@ func (sk *Skeleton) reweight(p Params) *Aux {
 	// links afterwards.
 	wc := &sk.lw[p.Kind]
 	if wc.w == nil {
+		//wdmlint:ignore hotalloc one-time lazy initialization of the per-variant weight cache
 		wc.w = make([]float64, sk.m)
 	}
 	full := !wc.ok || (p.Kind == Load && wc.base != base)
@@ -551,6 +554,7 @@ func (sk *Skeleton) reweight(p Params) *Aux {
 			g.SetWeight(hb.hubEdge, 0)
 		}
 	}
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	gate := func(refs []linkEdgeRef) {
 		for _, r := range refs {
 			if keep[r.link] {
@@ -654,7 +658,9 @@ func meanConvCost(net *wdm.Network, conv wdm.Converter, ein, eout int) (bool, fl
 	}
 	k := 0
 	sum := 0.0
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	in.ForEach(func(la int) bool {
+		//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 		out.ForEach(func(lb int) bool {
 			if la == lb {
 				k++
@@ -703,6 +709,7 @@ func (a *Aux) MapPath(path []int) []int {
 func (a *Aux) AppendMapPath(buf []int, path []int) []int {
 	for _, id := range path {
 		if aux := a.G.Edge(id).Aux; aux >= 0 {
+			//wdmlint:ignore hotalloc appends into the caller's reusable buffer; growth amortizes to zero
 			buf = append(buf, aux)
 		}
 	}

@@ -76,6 +76,7 @@ func (s *Set) Contains(i int) bool {
 
 func (s *Set) check(i int) {
 	if i < 0 || i >= s.n {
+		//wdmlint:ignore hotalloc panic-path formatting; unreachable in a correct run
 		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
 	}
 }

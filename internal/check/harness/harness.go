@@ -169,6 +169,7 @@ type OpError struct {
 	Err  error
 }
 
+//wdm:coldpath error rendering after a failed operation
 func (e *OpError) Error() string {
 	return fmt.Sprintf("op %d (%s): %v", e.Op, e.Algo, e.Err)
 }

@@ -92,6 +92,7 @@ func (tbl *AlternateTable) Route(net *wdm.Network, s, t int) (*Result, bool) {
 		if !ok2 {
 			continue
 		}
+		//wdmlint:ignore hotalloc per-admission result object; covered by the sim alloc budget
 		res := &Result{
 			Primary:   p1,
 			Backup:    p2,

@@ -123,6 +123,7 @@ func (t *CandidateTable) lookup(s, d int) []candPair {
 	return t.pairs[idx]
 }
 
+//wdm:coldpath cache-miss path generation, amortized across repeated (s, d) requests
 func (t *CandidateTable) fill(s, d int) {
 	idx := s*t.n + d
 	if t.filled[idx] {
@@ -206,6 +207,8 @@ type candScratch struct {
 // fast tier is off. A table supplied via Options is used as long as it is
 // valid for net; otherwise, with Options.Candidates > 0, the router builds
 // and keeps its own lazily filled table.
+//
+//wdm:coldpath table rebuild happens only on rebind or structural change
 func (r *Router) candidateTable(net *wdm.Network) *CandidateTable {
 	if t := r.opts.candidateTable(); t != nil && t.valid(net) {
 		return t
@@ -279,8 +282,11 @@ func (r *Router) candidateRoute(net *wdm.Network, s, t int, tab *CandidateTable)
 		ar.sl[1].Hops = cs.best[1]
 		p1, p2 = &ar.sl[0], &ar.sl[1]
 	} else {
+		//wdmlint:ignore hotalloc non-reuse branch; ReuseResult callers take the arena path
 		res = &Result{}
+		//wdmlint:ignore hotalloc non-reuse branch; ReuseResult callers take the arena path
 		p1 = &wdm.Semilightpath{Hops: append([]wdm.Hop(nil), cs.best[0]...)}
+		//wdmlint:ignore hotalloc non-reuse branch; ReuseResult callers take the arena path
 		p2 = &wdm.Semilightpath{Hops: append([]wdm.Hop(nil), cs.best[1]...)}
 	}
 	c1, c2 := cs.bestC[0], cs.bestC[1]

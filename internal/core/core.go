@@ -132,6 +132,7 @@ func pathLoad(net *wdm.Network, ps ...*wdm.Semilightpath) float64 {
 // route and returns the resulting Eq. 1 cost, or +Inf when some implied
 // conversion is disallowed. This is the unrefined P_ii assignment of §3.3.
 func firstFit(net *wdm.Network, route []int) (*wdm.Semilightpath, float64) {
+	//wdmlint:ignore hotalloc non-reuse fallback; serving paths use firstFitInto
 	hops := make([]wdm.Hop, len(route))
 	for i, id := range route {
 		lam := net.Link(id).Avail().Min()
@@ -140,6 +141,7 @@ func firstFit(net *wdm.Network, route []int) (*wdm.Semilightpath, float64) {
 		}
 		hops[i] = wdm.Hop{Link: id, Wavelength: lam}
 	}
+	//wdmlint:ignore hotalloc non-reuse fallback; serving paths use firstFitInto
 	p := &wdm.Semilightpath{Hops: hops}
 	c := p.Cost(net)
 	if math.IsInf(c, 1) { // disallowed conversion surfaces as +Inf ConvCost
@@ -157,6 +159,7 @@ func firstFitInto(net *wdm.Network, route []int, sl *wdm.Semilightpath, buf *[]w
 		if lam < 0 {
 			return nil, math.Inf(1)
 		}
+		//wdmlint:ignore hotalloc grows the caller-owned hop buffer; amortizes to zero once warm
 		hops = append(hops, wdm.Hop{Link: id, Wavelength: lam})
 	}
 	*buf = hops
@@ -197,6 +200,7 @@ func (r *Router) mapAndRefine(net *wdm.Network, a *auxgraph.Aux, pair *disjoint.
 		ar.res = Result{AuxWeight: pair.Weight}
 		res = &ar.res
 	} else {
+		//wdmlint:ignore hotalloc non-reuse branch; ReuseResult callers take the arena path
 		res = &Result{AuxWeight: pair.Weight}
 	}
 	var paths [2]*wdm.Semilightpath
@@ -356,6 +360,8 @@ func MinLoadCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 // TwoStepMinCost is the naive baseline (E7): route an optimal semilightpath,
 // remove its physical links, route a second one. It can fail on trap
 // topologies where ApproxMinCost succeeds, and is never cheaper.
+//
+//wdm:coldpath naive baseline for experiments, not the serving path
 func TwoStepMinCost(net *wdm.Network, s, t int, opts *Options) (*Result, bool) {
 	instr.routeCalls.Inc()
 	p1, c1, ok := lightpath.Optimal(net, s, t, nil)

@@ -89,6 +89,8 @@ func (r *Router) begin(kind string, s, t int) *obs.Trace {
 // as the trace payload, so the debug endpoints re-render any retained request
 // without re-routing it. loadAux marks results whose AuxWeight is
 // congestion-based (G_c) and therefore not comparable to the Eq. 1 cost.
+//
+//wdm:coldpath beyond clearing the workspace trace, finish does work only when a tracer is attached
 func (r *Router) finish(tc *obs.Trace, net *wdm.Network, res *Result, ok, loadAux bool) {
 	r.ws.Trace = nil
 	if tc == nil {
@@ -123,6 +125,8 @@ func (r *Router) finish(tc *obs.Trace, net *wdm.Network, res *Result, ok, loadAu
 // network change. Edge-disjoint requests share a single all-terminal
 // skeleton whose ReweightAt selects the pair; node-disjoint requests keep
 // per-(s, t) skeletons, since the hub gadgets exempt s and t.
+//
+//wdm:coldpath skeleton rebuild happens only on rebind or structural change
 func (r *Router) skeleton(net *wdm.Network, s, t int, nodeDisjoint bool, tc *obs.Trace) *auxgraph.Skeleton {
 	r.rebind(net)
 	if !nodeDisjoint {
@@ -229,8 +233,10 @@ func (r *Router) ApproxMinCostNodeDisjoint(net *wdm.Network, s, t int) (*Result,
 // Suurballe workspace and must be consumed before the next routing call.
 func (r *Router) minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, tc *obs.Trace) (theta float64, aOut *auxgraph.Aux, pairOut *disjoint.Pair, iters int, ok bool) {
 	defer instr.phaseMinCog.Stop(instr.phaseMinCog.Start())
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	defer func() { instr.mincogIters.Observe(float64(iters)) }()
 	sp := tc.Begin("mincog")
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	defer func() {
 		tc.SpanInt(sp, "iters", int64(iters))
 		tc.SpanFloat(sp, "theta", theta)
@@ -242,6 +248,7 @@ func (r *Router) minCogSearch(net *wdm.Network, s, t int, kind auxgraph.Kind, tc
 		return 0, nil, nil, 0, false
 	}
 	sk := r.skeleton(net, s, t, false, tc)
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	try := func(theta float64) (*auxgraph.Aux, *disjoint.Pair, bool) {
 		a := sk.ReweightAt(s, t, auxgraph.Params{Kind: kind, Threshold: theta, Base: r.opts.base(), Trace: tc})
 		pair, ok := r.ws.Suurballe(a.G, a.S, a.T)

@@ -46,6 +46,8 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 // Suurballe computes the same minimum-total-weight edge-disjoint pair as the
 // package-level Suurballe, reusing ws for every intermediate structure. The
 // returned Pair aliases workspace buffers (see the Workspace doc).
+//
+//wdm:hotpath
 func (ws *Workspace) Suurballe(g *graph.Graph, s, t int) (*Pair, bool) {
 	if s == t {
 		return nil, false
@@ -147,8 +149,10 @@ func (ws *Workspace) combine(g *graph.Graph, s, t int) (*Pair, bool) {
 	}
 	mark := ws.mark[:m]
 	ws.touched = ws.touched[:0]
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	add := func(id int) {
 		if mark[id] == 0 {
+			//wdmlint:ignore hotalloc workspace buffer growth; amortizes to zero once warm
 			ws.touched = append(ws.touched, id)
 		}
 		mark[id]++
@@ -164,6 +168,7 @@ func (ws *Workspace) combine(g *graph.Graph, s, t int) (*Pair, bool) {
 			add(aux)
 		}
 	}
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	defer func() {
 		for _, id := range ws.touched {
 			mark[id] = 0
@@ -210,6 +215,7 @@ func (ws *Workspace) combine(g *graph.Graph, s, t int) (*Pair, bool) {
 		total += e.Weight
 		edgeCount++
 	}
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	extract := func(buf []int) ([]int, bool) {
 		buf = buf[:0]
 		at := s
@@ -219,6 +225,7 @@ func (ws *Workspace) combine(g *graph.Graph, s, t int) (*Pair, bool) {
 			}
 			id := int(adjHead[at])
 			adjHead[at] = adjNext[id]
+			//wdmlint:ignore hotalloc workspace buffer growth; amortizes to zero once warm
 			buf = append(buf, id)
 			at = g.Edge(id).To
 			if len(buf) > edgeCount {

@@ -61,12 +61,17 @@ func (g *Graph) AddEdge(from, to int, weight float64) int {
 // AddEdgeAux appends a directed edge carrying an auxiliary payload.
 func (g *Graph) AddEdgeAux(from, to int, weight float64, aux int) int {
 	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		//wdmlint:ignore hotalloc panic-path formatting; unreachable in a correct run
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.n))
 	}
 	id := len(g.edges)
+	//wdmlint:ignore hotalloc adjacency buffers keep capacity across Reset; growth amortizes to zero
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Weight: weight, Aux: aux})
+	//wdmlint:ignore hotalloc adjacency buffers keep capacity across Reset; growth amortizes to zero
 	g.out[from] = append(g.out[from], id)
+	//wdmlint:ignore hotalloc adjacency buffers keep capacity across Reset; growth amortizes to zero
 	g.in[to] = append(g.in[to], id)
+	//wdmlint:ignore hotalloc adjacency buffers keep capacity across Reset; growth amortizes to zero
 	g.disabled = append(g.disabled, false)
 	return id
 }

@@ -112,6 +112,7 @@ func (ws *Workspace) AppendPathTo(buf []int, v int, g *Graph) ([]int, bool) {
 		if e < 0 {
 			return buf[:start], false // defensive: broken tree
 		}
+		//wdmlint:ignore hotalloc appends into the caller's reusable path buffer; amortizes to zero
 		buf = append(buf, e)
 		v = g.Edge(e).From
 	}
@@ -147,6 +148,8 @@ func (ws *Workspace) Result(n int) *PathResult {
 // through the workspace accessors (Dist, Reached, AppendPathTo, …) and stay
 // valid until the next search on the same workspace. All enabled edge
 // weights must be non-negative; it panics otherwise.
+//
+//wdm:hotpath
 func (g *Graph) DijkstraInto(ws *Workspace, src int) {
 	ws.begin(g.n)
 	ws.src = src
@@ -166,6 +169,7 @@ func (g *Graph) DijkstraInto(ws *Workspace, src int) {
 			}
 			e := &g.edges[id]
 			if e.Weight < 0 {
+				//wdmlint:ignore hotalloc panic-path formatting; unreachable in a correct run
 				panic(fmt.Sprintf("graph: Dijkstra on negative edge %d (weight %g)", id, e.Weight))
 			}
 			ws.relaxations++

@@ -29,6 +29,8 @@ type Options struct {
 // network, its cost, and whether one exists. The path is optimal over all
 // walks from s to t given the conversion tables; since all costs are
 // non-negative the optimum is realized by a path.
+//
+//wdm:coldpath exact DP solver builds per-call tables by design; the serving path uses AssignInto
 func Optimal(g *wdm.Network, s, t int, opts *Options) (*wdm.Semilightpath, float64, bool) {
 	if opts == nil {
 		opts = &Options{}
@@ -159,6 +161,7 @@ func AssignWavelengths(g *wdm.Network, route []int) (*wdm.Semilightpath, float64
 	if !ok {
 		return nil, math.Inf(1), false
 	}
+	//wdmlint:ignore hotalloc per-result header for the non-workspace API; hot callers use AssignInto
 	return &wdm.Semilightpath{Hops: hops}, cost, true
 }
 
@@ -173,6 +176,8 @@ type AssignWorkspace struct {
 // lives in ws and the hop sequence is written into hops (grown if needed), so
 // a warm call allocates nothing. The returned slice aliases hops' backing
 // array; wrap it in a Semilightpath or copy it out as needed.
+//
+//wdm:hotpath
 func AssignInto(ws *AssignWorkspace, g *wdm.Network, route []int, hops []wdm.Hop) ([]wdm.Hop, float64, bool) {
 	if len(route) == 0 {
 		return hops[:0], math.Inf(1), false
@@ -196,6 +201,7 @@ func AssignInto(ws *AssignWorkspace, g *wdm.Network, route []int, hops []wdm.Hop
 		dp[lam] = math.Inf(1)
 	}
 	first := g.Link(route[0])
+	//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 	first.Avail().ForEach(func(lam int) bool {
 		dp[lam] = first.Cost(lam)
 		return true
@@ -211,6 +217,7 @@ func AssignInto(ws *AssignWorkspace, g *wdm.Network, route []int, hops []wdm.Hop
 			ndp[lam] = math.Inf(1)
 		}
 		row := prev[i*w : (i+1)*w]
+		//wdmlint:ignore hotalloc non-escaping closure; stays on the stack
 		l.Avail().ForEach(func(nlam int) bool {
 			base := l.Cost(nlam)
 			for lam := 0; lam < w; lam++ {

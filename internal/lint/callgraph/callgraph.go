@@ -1,0 +1,379 @@
+// Package callgraph builds a conservative static call graph over the
+// typechecked packages of one lint load, for flow-aware analyzers that need
+// to reason about what a function transitively reaches (hot-path allocation
+// tracking) or who transitively calls it (mutation classification).
+//
+// Resolution policy, most precise first:
+//
+//   - Static dispatch: calls whose callee resolves through go/types to a
+//     declared function or a method on a concrete type get exactly one edge.
+//   - Interface dispatch: a call through an interface method gets an edge to
+//     every analyzed method with that name whose receiver type implements the
+//     interface (method-set matching) — a sound over-approximation.
+//   - Function values: a call through a variable, parameter, field or result
+//     of function type gets an edge to every analyzed function whose value is
+//     taken somewhere (referenced outside call position) and whose signature
+//     is identical to the call site's — again a sound over-approximation,
+//     because a function that is never used as a value cannot be called
+//     indirectly.
+//
+// Function literals are attributed to their enclosing declared function: a
+// call inside a closure is an edge from the function that lexically contains
+// the closure, and scanning a node's body includes the bodies of its nested
+// literals. This keeps the graph keyed by *types.Func — the objects the
+// facts layer and suppression directives can name — while remaining
+// conservative: a closure's code is reachable wherever its builder is.
+//
+// The builder is stdlib-only (go/ast + go/types), matching the rest of the
+// lint framework.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// EdgeKind records how a call site was resolved.
+type EdgeKind int
+
+const (
+	// Static is a direct call to a declared function or concrete method.
+	Static EdgeKind = iota
+	// Interface is a call through an interface method, resolved by
+	// method-set matching.
+	Interface
+	// FuncValue is a call through a function value, resolved by signature
+	// matching against address-taken functions.
+	FuncValue
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Interface:
+		return "interface"
+	case FuncValue:
+		return "funcvalue"
+	}
+	return "unknown"
+}
+
+// Node is one declared function or method of an analyzed package.
+type Node struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *lint.Package
+	Out  []*Edge // calls this function makes
+	In   []*Edge // calls that reach this function
+}
+
+// Edge is one resolved call site.
+type Edge struct {
+	Caller, Callee *Node
+	Site           *ast.CallExpr
+	Kind           EdgeKind
+	// Iface is the interface method the site called, for Interface edges.
+	Iface *types.Func
+}
+
+// Pos returns the call site's position.
+func (e *Edge) Pos() token.Pos { return e.Site.Pos() }
+
+// Graph is the call graph of one analyzed package set.
+type Graph struct {
+	// Nodes maps every declared function of the analyzed packages to its
+	// node. Methods are keyed by their *types.Func object, so interface
+	// method objects (which have no body) never appear as keys.
+	Nodes map[*types.Func]*Node
+	// Order lists the nodes in source order (file name, then position) for
+	// deterministic iteration.
+	Order []*Node
+}
+
+// Node returns the graph node for fn, or nil when fn is not a declared
+// function of the analyzed packages.
+func (g *Graph) Node(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	if n, ok := g.Nodes[fn]; ok {
+		return n
+	}
+	// Generic instantiations resolve to their origin declaration.
+	if o := fn.Origin(); o != fn {
+		return g.Nodes[o]
+	}
+	return nil
+}
+
+// CacheKey is the key the analyzers share a built graph under in the lint
+// run cache.
+const CacheKey = "callgraph"
+
+// For returns the call graph of pkgs, building it at most once per cache.
+func For(cache *lint.Cache, pkgs []*lint.Package) *Graph {
+	return cache.Get(CacheKey, func() any { return Build(pkgs) }).(*Graph)
+}
+
+// builder carries the intermediate state of one Build.
+type builder struct {
+	g *Graph
+	// methodsByName indexes every analyzed method by name, for interface
+	// dispatch.
+	methodsByName map[string][]*Node
+	// addressTaken lists every analyzed function or method referenced as a
+	// value (outside call position) — the only functions an indirect call
+	// can reach.
+	addressTaken []*Node
+	taken        map[*Node]bool
+}
+
+// Build constructs the call graph of pkgs.
+func Build(pkgs []*lint.Package) *Graph {
+	b := &builder{
+		g:             &Graph{Nodes: map[*types.Func]*Node{}},
+		methodsByName: map[string][]*Node{},
+		taken:         map[*Node]bool{},
+	}
+	// Pass 1: nodes, the method index, and the address-taken set.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Func: fn, Decl: fd, Pkg: pkg}
+				b.g.Nodes[fn] = n
+				if fd.Recv != nil {
+					b.methodsByName[fn.Name()] = append(b.methodsByName[fn.Name()], n)
+				}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		b.collectAddressTaken(pkg)
+	}
+	// Deterministic node order: position within the shared FileSet.
+	for _, n := range b.g.Nodes {
+		b.g.Order = append(b.g.Order, n)
+	}
+	sort.Slice(b.g.Order, func(i, j int) bool {
+		pi := b.g.Order[i].Pkg.Fset.Position(b.g.Order[i].Decl.Pos())
+		pj := b.g.Order[j].Pkg.Fset.Position(b.g.Order[j].Decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	// Pass 2: edges.
+	for _, n := range b.g.Order {
+		b.collectEdges(n)
+	}
+	return b.g
+}
+
+// collectAddressTaken records every function object referenced as a value:
+// an identifier or selector denoting a declared function that is not the
+// operand of a call. Those are the only candidates for func-value dispatch.
+func (b *builder) collectAddressTaken(pkg *lint.Package) {
+	for _, f := range pkg.Files {
+		lint.WalkStack(f, func(node ast.Node, stack []ast.Node) {
+			var obj types.Object
+			switch x := node.(type) {
+			case *ast.Ident:
+				// Selector idents are handled at the SelectorExpr below.
+				if len(stack) > 0 {
+					if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == x {
+						return
+					}
+				}
+				obj = pkg.Info.Uses[x]
+			case *ast.SelectorExpr:
+				obj = pkg.Info.Uses[x.Sel]
+			default:
+				return
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return
+			}
+			n := b.g.Node(fn)
+			if n == nil || b.taken[n] {
+				return
+			}
+			// In call position? The parent (skipping parens) must be a
+			// CallExpr whose Fun is this expression.
+			parent := ast.Node(nil)
+			expr := node.(ast.Expr)
+			for i := len(stack) - 1; i >= 0; i-- {
+				if p, ok := stack[i].(*ast.ParenExpr); ok {
+					expr = p
+					continue
+				}
+				parent = stack[i]
+				break
+			}
+			if call, ok := parent.(*ast.CallExpr); ok && stripParens(call.Fun) == stripParens(expr) {
+				return
+			}
+			b.taken[n] = true
+			b.addressTaken = append(b.addressTaken, n)
+		})
+	}
+}
+
+// collectEdges resolves every call site lexically inside n's declaration
+// (including nested function literals) and appends the out-edges.
+func (b *builder) collectEdges(n *Node) {
+	if n.Decl.Body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := stripParens(call.Fun)
+		// Conversions and builtin calls are not edges.
+		if tv, ok := info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+			return true
+		}
+		switch f := fun.(type) {
+		case *ast.Ident:
+			switch obj := info.Uses[f].(type) {
+			case *types.Func:
+				b.addStatic(n, call, obj)
+			case *types.Var:
+				b.addFuncValue(n, call)
+			case nil:
+				// A locally-defined func literal variable still resolves to
+				// a *types.Var via Defs at its definition; Uses covers all
+				// call sites, so nothing else to do.
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[f]; ok {
+				switch sel.Kind() {
+				case types.MethodVal, types.MethodExpr:
+					m := sel.Obj().(*types.Func)
+					if types.IsInterface(sel.Recv()) {
+						b.addInterface(n, call, sel.Recv(), m)
+					} else {
+						b.addStatic(n, call, m)
+					}
+				case types.FieldVal:
+					b.addFuncValue(n, call) // call through a func-typed field
+				}
+			} else if obj, ok := info.Uses[f.Sel].(*types.Func); ok {
+				// Package-qualified call: pkg.Fn(...).
+				b.addStatic(n, call, obj)
+			} else if _, ok := info.Uses[f.Sel].(*types.Var); ok {
+				b.addFuncValue(n, call) // call through a package-level func var
+			}
+		case *ast.FuncLit:
+			// Immediately-invoked literal: its body is already attributed
+			// to n; no edge needed.
+		default:
+			// Call of an arbitrary expression of function type (index into
+			// a table of funcs, result of another call, …).
+			if t := info.TypeOf(fun); t != nil {
+				if _, ok := t.Underlying().(*types.Signature); ok {
+					b.addFuncValue(n, call)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// addEdge links caller and callee.
+func (b *builder) addEdge(caller *Node, call *ast.CallExpr, callee *Node, kind EdgeKind, iface *types.Func) {
+	e := &Edge{Caller: caller, Callee: callee, Site: call, Kind: kind, Iface: iface}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+}
+
+// addStatic resolves a statically-dispatched call.
+func (b *builder) addStatic(caller *Node, call *ast.CallExpr, fn *types.Func) {
+	if callee := b.g.Node(fn); callee != nil {
+		b.addEdge(caller, call, callee, Static, nil)
+	}
+}
+
+// addInterface resolves a call through interface method m on receiver type
+// recv: an edge to every analyzed method with the same name whose receiver
+// type implements the interface and whose signature matches the interface
+// method's.
+func (b *builder) addInterface(caller *Node, call *ast.CallExpr, recv types.Type, m *types.Func) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	want := m.Type().(*types.Signature)
+	for _, cand := range b.methodsByName[m.Name()] {
+		sig := cand.Func.Type().(*types.Signature)
+		crecv := sig.Recv().Type()
+		if !types.Implements(crecv, iface) && !types.Implements(types.NewPointer(crecv), iface) {
+			continue
+		}
+		if !compatibleSignatures(want, sig) {
+			continue
+		}
+		b.addEdge(caller, call, cand, Interface, m)
+	}
+}
+
+// addFuncValue resolves an indirect call through a function value: an edge
+// to every address-taken analyzed function with an identical signature.
+func (b *builder) addFuncValue(caller *Node, call *ast.CallExpr) {
+	t := caller.Pkg.Info.TypeOf(stripParens(call.Fun))
+	if t == nil {
+		return
+	}
+	want, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for _, cand := range b.addressTaken {
+		sig := cand.Func.Type().(*types.Signature)
+		if !compatibleSignatures(want, sig) {
+			continue
+		}
+		b.addEdge(caller, call, cand, FuncValue, nil)
+	}
+}
+
+// compatibleSignatures reports whether a function with signature have could
+// be invoked through a site typed want: identical parameter and result
+// types, receivers ignored (method values close over theirs).
+func compatibleSignatures(want, have *types.Signature) bool {
+	return types.Identical(stripRecv(want), stripRecv(have))
+}
+
+// stripRecv normalises a signature to its receiver-free form.
+func stripRecv(sig *types.Signature) types.Type {
+	if sig.Recv() == nil {
+		return sig
+	}
+	return types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,153 @@
+package callgraph
+
+import (
+	"flag"
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden expected.txt")
+
+// loadDisp typechecks the dispatch fixture package and builds its graph.
+func loadDisp(t *testing.T) *Graph {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "disp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	pkgs, err := lint.Check([]lint.PackageSpec{{
+		ImportPath: "fix/callgraph/disp",
+		Dir:        dir,
+		Files:      files,
+		Analyze:    true,
+	}})
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+	return Build(pkgs)
+}
+
+// label renders a node as Func or Recv.Method.
+func label(n *Node) string {
+	sig := n.Func.Type().(*types.Signature)
+	if r := sig.Recv(); r != nil {
+		t := r.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + n.Func.Name()
+		}
+	}
+	return n.Func.Name()
+}
+
+// TestDispatchGolden pins how every call site in the fixture resolves: one
+// line per edge, callers in source order, edges in body order.
+func TestDispatchGolden(t *testing.T) {
+	g := loadDisp(t)
+	var b strings.Builder
+	for _, n := range g.Order {
+		for _, e := range n.Out {
+			fmt.Fprintf(&b, "%s -> %s [%s]\n", label(e.Caller), label(e.Callee), e.Kind)
+		}
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "disp", "expected.txt")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("edges mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEdgeCompatibility is the soundness property of the resolver: every
+// edge's callee must be type-compatible with its call site — a function the
+// site could not actually invoke must never appear as a callee.
+func TestEdgeCompatibility(t *testing.T) {
+	g := loadDisp(t)
+	edges := 0
+	for _, n := range g.Order {
+		for _, e := range n.Out {
+			edges++
+			calleeSig := e.Callee.Func.Type().(*types.Signature)
+			switch e.Kind {
+			case Interface:
+				// The callee must implement the interface method it was
+				// resolved from, with a matching receiver-free signature.
+				want := e.Iface.Type().(*types.Signature)
+				if !compatibleSignatures(want, calleeSig) {
+					t.Errorf("interface edge %s -> %s: signature %s incompatible with %s",
+						label(e.Caller), label(e.Callee), calleeSig, want)
+				}
+			case FuncValue:
+				want, ok := e.Caller.Pkg.Info.TypeOf(e.Site.Fun).Underlying().(*types.Signature)
+				if !ok {
+					t.Errorf("funcvalue edge %s -> %s: site is not function-typed",
+						label(e.Caller), label(e.Callee))
+					continue
+				}
+				if !compatibleSignatures(want, calleeSig) {
+					t.Errorf("funcvalue edge %s -> %s: signature %s incompatible with site type %s",
+						label(e.Caller), label(e.Callee), calleeSig, want)
+				}
+			case Static:
+				// The site's function expression must denote exactly the
+				// callee (modulo generic instantiation).
+				want := e.Caller.Pkg.Info.TypeOf(e.Site.Fun)
+				if want == nil {
+					t.Errorf("static edge %s -> %s: untyped call site",
+						label(e.Caller), label(e.Callee))
+					continue
+				}
+				wantSig, ok := want.Underlying().(*types.Signature)
+				if !ok {
+					t.Errorf("static edge %s -> %s: site type %s is not a signature",
+						label(e.Caller), label(e.Callee), want)
+					continue
+				}
+				if !compatibleSignatures(wantSig, calleeSig) {
+					t.Errorf("static edge %s -> %s: signature %s incompatible with site type %s",
+						label(e.Caller), label(e.Callee), calleeSig, wantSig)
+				}
+			}
+		}
+	}
+	if edges == 0 {
+		t.Fatal("fixture produced no edges")
+	}
+	// Negative dispatch properties the golden alone cannot express crisply:
+	// an indirect call never reaches a function whose address is not taken.
+	for _, n := range g.Order {
+		if n.Func.Name() != "Never" {
+			continue
+		}
+		if len(n.In) != 0 {
+			t.Errorf("Never is not address-taken but has %d in-edges", len(n.In))
+		}
+	}
+}

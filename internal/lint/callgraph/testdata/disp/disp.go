@@ -1,0 +1,46 @@
+// Package disp exercises the three dispatch modes the call-graph builder
+// resolves: static calls, interface calls, and calls through function values.
+package disp
+
+type Ring struct{ n int }
+
+func (r *Ring) Grow(k int) { r.n += k }
+func (r *Ring) Len() int   { return r.n }
+
+type Sizer interface{ Len() int }
+
+type Fixed int
+
+func (f Fixed) Len() int { return int(f) }
+
+// Helper is a plain function, called statically below.
+func Helper(x int) int { return x + 1 }
+
+// Twice is referenced as a value below: a candidate for func-value dispatch.
+func Twice(x int) int { return 2 * x }
+
+// Never has the same signature as Twice but is never referenced as a value,
+// so indirect calls must not resolve to it.
+func Never(x int) int { return -x }
+
+// Static calls a function and two concrete methods directly.
+func Static(r *Ring) int {
+	r.Grow(Helper(1))
+	return r.Len()
+}
+
+// Dynamic calls through an interface: edges to every implementation of Len.
+func Dynamic(s Sizer) int { return s.Len() }
+
+// Indirect calls through a function value: an edge to Twice, none to Never.
+func Indirect(x int) int {
+	f := Twice
+	return f(x)
+}
+
+// CallBound calls through a bound method value: resolved by signature match
+// against the address-taken set, which r.Len joins here.
+func CallBound(r *Ring) int {
+	g := r.Len
+	return g()
+}

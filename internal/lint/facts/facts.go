@@ -1,0 +1,110 @@
+// Package facts propagates per-function properties over the static call
+// graph, so analyzers can reason transitively: "everything reachable from an
+// annotated hot-path root is hot", "every function that (indirectly) calls a
+// mutating method through one of its parameters is itself a mutator". It is
+// the fixed-point layer between the call graph and the rules.
+package facts
+
+import (
+	"repro/internal/lint/callgraph"
+)
+
+// Direction selects which way a fact flows along call edges.
+type Direction int
+
+const (
+	// Forward flows facts from callers to callees: a property of a function
+	// extends to everything it calls (reachability from roots).
+	Forward Direction = iota
+	// Backward flows facts from callees to callers: a property of a callee
+	// infects everything that calls it (mutation, panics, blocking).
+	Backward
+)
+
+// Propagate computes the fixed point of a fact set over g. seed holds the
+// initial facts; merge folds a fact arriving over edge e into the fact the
+// destination already has (zero value T on first arrival) and reports
+// whether the destination changed — returning false stops propagation
+// through that node, which is how analyzers encode boundaries. The returned
+// map holds the final fact of every node that received one.
+func Propagate[T any](g *callgraph.Graph, seed map[*callgraph.Node]T, dir Direction, merge func(dst *callgraph.Node, old T, hadOld bool, in T, e *callgraph.Edge) (T, bool)) map[*callgraph.Node]T {
+	out := make(map[*callgraph.Node]T, len(seed))
+	work := make([]*callgraph.Node, 0, len(seed))
+	// Deterministic worklist order: graph order for seeds, FIFO afterwards.
+	for _, n := range g.Order {
+		if f, ok := seed[n]; ok {
+			out[n] = f
+			work = append(work, n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		fact := out[n]
+		edges := n.Out
+		if dir == Backward {
+			edges = n.In
+		}
+		for _, e := range edges {
+			dst := e.Callee
+			if dir == Backward {
+				dst = e.Caller
+			}
+			old, had := out[dst]
+			next, changed := merge(dst, old, had, fact, e)
+			if !changed {
+				continue
+			}
+			out[dst] = next
+			work = append(work, dst)
+		}
+	}
+	return out
+}
+
+// Reach is the reachability special case of Propagate: it flood-fills from
+// roots in dir, skipping nodes for which skip returns true (boundaries), and
+// returns for every reached node the edge it was first reached over — the
+// parent pointers a rule follows to print the full call chain back to a
+// root. Roots map to a nil edge.
+func Reach(g *callgraph.Graph, roots []*callgraph.Node, dir Direction, skip func(*callgraph.Node) bool) map[*callgraph.Node]*callgraph.Edge {
+	seed := make(map[*callgraph.Node]*callgraph.Edge, len(roots))
+	for _, r := range roots {
+		if skip == nil || !skip(r) {
+			seed[r] = nil
+		}
+	}
+	return Propagate(g, seed, dir, func(dst *callgraph.Node, old *callgraph.Edge, had bool, _ *callgraph.Edge, e *callgraph.Edge) (*callgraph.Edge, bool) {
+		if had || (skip != nil && skip(dst)) {
+			return old, false
+		}
+		return e, true
+	})
+}
+
+// Chain reconstructs the call chain that made n reachable, using the parent
+// edges Reach returned: the result starts at a root and ends at n. Forward
+// reachability gives root → … → n; Backward gives n's transitive caller
+// chain in the same root-first order.
+func Chain(parents map[*callgraph.Node]*callgraph.Edge, n *callgraph.Node, dir Direction) []*callgraph.Node {
+	var rev []*callgraph.Node
+	for cur := n; ; {
+		rev = append(rev, cur)
+		e, ok := parents[cur]
+		if !ok || e == nil {
+			break
+		}
+		if dir == Forward {
+			cur = e.Caller
+		} else {
+			cur = e.Callee
+		}
+		if len(rev) > len(parents)+1 {
+			break // defensive: cyclic parents cannot happen, but never loop
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

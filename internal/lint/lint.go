@@ -26,7 +26,10 @@ import (
 	"strings"
 )
 
-// Analyzer is one named rule.
+// Analyzer is one named rule. Exactly one of Run and RunGlobal must be set:
+// Run sees one package at a time; RunGlobal sees the whole analyzed package
+// set at once — the flow-aware analyzers that need a program-wide call graph
+// use it.
 type Analyzer struct {
 	// Name identifies the rule in output and in ignore directives.
 	Name string
@@ -34,6 +37,10 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings on the pass.
 	Run func(*Pass)
+	// RunGlobal inspects every analyzed package in one pass, with a cache
+	// shared across analyzers for expensive program-wide structures (the
+	// call graph is built once per Run invocation, not once per rule).
+	RunGlobal func(*GlobalPass)
 }
 
 // Diagnostic is one finding.
@@ -75,6 +82,46 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // ObjectOf returns the object an identifier denotes (uses or defs).
 func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// Cache memoizes program-wide structures (the call graph, fact tables)
+// across the analyzers of one Run invocation. It is keyed by string so the
+// framework does not need to know the concrete types the rule packages
+// build on top of it.
+type Cache struct {
+	m map[string]any
+}
+
+// Get returns the cached value under key, building and storing it on first
+// use. Run invocations are single-goroutine, so no locking is needed.
+func (c *Cache) Get(key string, build func() any) any {
+	if v, ok := c.m[key]; ok {
+		return v
+	}
+	v := build()
+	c.m[key] = v
+	return v
+}
+
+// GlobalPass carries the whole analyzed package set through one RunGlobal
+// analyzer.
+type GlobalPass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+	Cache    *Cache
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos, attributed to pkg (the package whose
+// source contains pos — attribution is what routes suppression directives).
+func (gp *GlobalPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*gp.diags = append(*gp.diags, Diagnostic{
+		Rule:    gp.Analyzer.Name,
+		Pos:     pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+		Package: pkg.Types.Path(),
+	})
+}
 
 // PkgPathIs reports whether pkg's import path is suffix, or ends in
 // "/"+suffix — the path-suffix matching every analyzer uses so that fixture
@@ -124,8 +171,12 @@ func WalkStack(f *ast.File, fn func(n ast.Node, stack []ast.Node)) {
 // "wdmlint" pseudo-rule.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	cache := &Cache{m: map[string]any{}}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg.Types,
@@ -137,6 +188,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 		diags = append(diags, malformedDirectives(pkg)...)
+	}
+	for _, a := range analyzers {
+		if a.RunGlobal == nil {
+			continue
+		}
+		a.RunGlobal(&GlobalPass{Analyzer: a, Pkgs: pkgs, Cache: cache, diags: &diags})
 	}
 	diags = applySuppressions(pkgs, diags)
 	sort.Slice(diags, func(i, j int) bool {

@@ -1,0 +1,157 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+// AtomicField guards against mixed atomic/plain access to a field. A struct
+// field that is ever accessed through the function-style sync/atomic API
+// (atomic.LoadUint64(&s.f), atomic.AddInt64(&s.f), ...) is a synchronization
+// point: every other access must also go through sync/atomic, or the plain
+// read races with the atomic write and the compiler is free to tear, cache,
+// or reorder it. The typed atomics (atomic.Int64, atomic.Pointer[T]) make
+// this impossible by construction — which is why the daemon uses them — but
+// the function-style API offers no such protection, so this rule provides
+// it: it collects every field whose address escapes into a sync/atomic call
+// anywhere in the analyzed packages, then flags every plain read or write of
+// those fields (including keyed composite-literal initialization, which is a
+// plain write like any other).
+var AtomicField = &lint.Analyzer{
+	Name:      "atomicfield",
+	Doc:       "struct fields accessed via function-style sync/atomic must never be read or written non-atomically",
+	RunGlobal: runAtomicField,
+}
+
+func runAtomicField(gp *lint.GlobalPass) {
+	// Phase 1: find every field whose address is passed to a sync/atomic
+	// function, remembering the first such call as the witness and the exact
+	// selector nodes that are sanctioned atomic accesses.
+	atomicUse := map[*types.Var]string{} // field -> "atomic.AddUint64 at file:line"
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range gp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := afAtomicFunc(pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				for _, arg := range call.Args {
+					sel := afAddressedField(arg)
+					if sel == nil {
+						continue
+					}
+					field := afFieldObj(pkg.Info, sel)
+					if field == nil {
+						continue
+					}
+					sanctioned[sel] = true
+					if _, seen := atomicUse[field]; !seen {
+						p := pkg.Fset.Position(call.Pos())
+						atomicUse[field] = fmt.Sprintf("atomic.%s at %s:%d",
+							fn.Name(), filepath.Base(p.Filename), p.Line)
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicUse) == 0 {
+		return
+	}
+
+	// Phase 2: every other access to those fields is a finding — selector
+	// reads/writes outside the sanctioned sites, and keyed composite-literal
+	// initialization.
+	for _, pkg := range gp.Pkgs {
+		for _, f := range pkg.Files {
+			lint.WalkStack(f, func(node ast.Node, stack []ast.Node) {
+				switch x := node.(type) {
+				case *ast.SelectorExpr:
+					field := afFieldObj(pkg.Info, x)
+					if field == nil || sanctioned[x] {
+						return
+					}
+					witness, ok := atomicUse[field]
+					if !ok {
+						return
+					}
+					gp.Reportf(pkg, x.Sel.Pos(),
+						"field %s is accessed atomically (%s) but read or written non-atomically here; every access to it must go through sync/atomic",
+						field.Name(), witness)
+				case *ast.KeyValueExpr:
+					// S{f: v} inside a composite literal is a plain write.
+					key, ok := x.Key.(*ast.Ident)
+					if !ok {
+						return
+					}
+					if len(stack) == 0 {
+						return
+					}
+					if _, inLit := stack[len(stack)-1].(*ast.CompositeLit); !inLit {
+						return
+					}
+					field, _ := pkg.Info.Uses[key].(*types.Var)
+					if field == nil || !field.IsField() {
+						return
+					}
+					witness, ok2 := atomicUse[field]
+					if !ok2 {
+						return
+					}
+					gp.Reportf(pkg, key.Pos(),
+						"field %s is accessed atomically (%s) but initialized non-atomically here; zero the field and publish it with an atomic store",
+						field.Name(), witness)
+				}
+			})
+		}
+	}
+}
+
+// afAtomicFunc returns the package-level sync/atomic function call resolves
+// to, or nil. Methods on the typed atomics return nil: values of those types
+// cannot be accessed non-atomically in the first place.
+func afAtomicFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// afAddressedField unwraps &x.f (possibly parenthesized) to the selector.
+func afAddressedField(arg ast.Expr) *ast.SelectorExpr {
+	u, ok := unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, _ := unparen(u.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// afFieldObj returns the struct field sel selects, or nil for non-field
+// selections (methods, package members).
+func afFieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -27,6 +27,9 @@ var fixtures = []struct {
 	{"nocopy", rules.NoCopy, []string{"graph", "app"}},
 	{"mapdet", rules.MapDet, []string{"core", "other"}},
 	{"errcheck", rules.ErrCheckLite, []string{"trace", "obs", "timeseries", "http", "serve", "app"}},
+	{"hotalloc", rules.HotAlloc, []string{"graph", "app"}},
+	{"snapmut", rules.SnapMut, []string{"wdm", "serve", "app"}},
+	{"atomicfield", rules.AtomicField, []string{"core", "other"}},
 }
 
 // loadFixture typechecks the fixture packages for one rule. Import paths are

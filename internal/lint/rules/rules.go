@@ -16,6 +16,9 @@ var All = []*lint.Analyzer{
 	NoCopy,
 	MapDet,
 	ErrCheckLite,
+	HotAlloc,
+	SnapMut,
+	AtomicField,
 }
 
 // funcScopes returns every function body of f — declarations and literals —

@@ -1,0 +1,46 @@
+// Package core exercises mixed atomic/plain access to struct fields.
+package core
+
+import "sync/atomic"
+
+// Stats mixes an atomically-accessed counter with a plain one.
+type Stats struct {
+	Hits   uint64
+	misses uint64
+}
+
+// Record is a sanctioned atomic write.
+func (s *Stats) Record() {
+	atomic.AddUint64(&s.Hits, 1)
+}
+
+// Snapshot is a sanctioned atomic read.
+func (s *Stats) Snapshot() uint64 {
+	return atomic.LoadUint64(&s.Hits)
+}
+
+// Peek reads Hits without atomics: finding.
+func (s *Stats) Peek() uint64 {
+	return s.Hits
+}
+
+// Reset writes Hits without atomics: finding.
+func (s *Stats) Reset() {
+	s.Hits = 0
+}
+
+// NewStats initializes Hits through a keyed literal, a plain write: finding.
+func NewStats() *Stats {
+	return &Stats{Hits: 0}
+}
+
+// Misses is only ever accessed plainly: clean.
+func (s *Stats) Misses() uint64 {
+	s.misses++
+	return s.misses
+}
+
+// Drain reads Hits under a recorded exception: suppressed.
+func (s *Stats) Drain() uint64 {
+	return s.Hits //wdmlint:ignore atomicfield read runs after all writers have joined
+}

@@ -1,0 +1,10 @@
+// Package other accesses core.Stats from outside its package: the
+// atomic-use set is program-wide, so the plain read is still a finding.
+package other
+
+import "fix/atomicfield/core"
+
+// Sample reads Hits plainly from another package: finding.
+func Sample(s *core.Stats) uint64 {
+	return s.Hits
+}

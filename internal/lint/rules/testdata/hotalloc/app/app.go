@@ -1,0 +1,50 @@
+// Package app annotates the fixture hot roots and exercises every
+// allocation construct the rule classifies.
+package app
+
+import (
+	"fmt"
+
+	"fix/hotalloc/graph"
+)
+
+type labels struct{ a, b string }
+
+// Route is the annotated hot root: clean itself, but everything it reaches
+// inherits the contract.
+//
+//wdm:hotpath
+func Route(ws *graph.Workspace, n int) []int {
+	ws.Grow(n)
+	for i := 0; i < n; i++ {
+		ws.Relax(i, int64(i))
+	}
+	return ws.Spill()
+}
+
+// Describe allocates every which way on the hot path: findings.
+//
+//wdm:hotpath
+func Describe(ws *graph.Workspace, name string) {
+	ids := []int{1, 2}
+	m := map[string]int{}
+	l := &labels{a: name}
+	bs := []byte(name)
+	sink(name)
+	f := func() int { return len(ids) + len(bs) + len(m) + len(l.a) }
+	_ = f()
+	_ = ws.Trace(0) // clean: cold boundary
+}
+
+// sink takes an interface; passing it a concrete value boxes at the caller.
+func sink(v any) { _ = v }
+
+// Cold allocates but is neither annotated nor reachable from a root: clean.
+func Cold() []int { return make([]int, 4) }
+
+// Panic allocates on the hot path under a recorded exception: suppressed.
+//
+//wdm:hotpath
+func Panic(code int) {
+	panic(fmt.Sprintf("code %d", code)) //wdmlint:ignore hotalloc unreachable in steady state; a panic aborts the request
+}

@@ -1,0 +1,54 @@
+// Package graph holds the hot-path helpers the fixture root reaches, so the
+// goldens cover cross-package call chains.
+package graph
+
+import "fmt"
+
+// Workspace mirrors the reusable-buffer shape of the real solver.
+type Workspace struct {
+	dist []int64
+	heap []int
+}
+
+// Relax is reached from the hot root; its error branch allocates. The branch
+// is exactly the shape the runtime alloc gates provably miss: the alloc-count
+// tests only drive non-negative weights, so the Sprintf below never executes
+// under them — only the static chain from the annotated root sees it.
+func (ws *Workspace) Relax(n int, w int64) {
+	if w < 0 {
+		panic(fmt.Sprintf("negative weight %d", w))
+	}
+	ws.dist[n] = w
+}
+
+// Grow warms the workspace under capacity guards: clean (the warm-up idiom).
+func (ws *Workspace) Grow(n int) {
+	if cap(ws.dist) < n {
+		ws.dist = make([]int64, n)
+	}
+	for len(ws.heap) < n {
+		ws.heap = append(ws.heap, 0)
+	}
+	ws.heap = append(ws.heap[:0], ws.heap...)
+}
+
+// Spill allocates unconditionally: finding, attributed through the chain
+// from the annotated root.
+func (ws *Workspace) Spill() []int {
+	out := make([]int, len(ws.heap))
+	copy(out, ws.heap)
+	return out
+}
+
+// Trace allocates but is a declared cold boundary: clean, and propagation
+// stops here.
+//
+//wdm:coldpath tracing is enabled only in diagnostic runs
+func (ws *Workspace) Trace(id int) string {
+	return fmt.Sprintf("node %d", id)
+}
+
+// Stale declares a cold boundary without a reason: finding on the directive.
+//
+//wdm:coldpath
+func (ws *Workspace) Stale() {}

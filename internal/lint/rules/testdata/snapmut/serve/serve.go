@@ -1,0 +1,66 @@
+// Package serve is a fixture mirroring the daemon's snapshot store: a
+// published snapshot wraps a frozen network, the committer owns cur.
+package serve
+
+import "fix/snapmut/wdm"
+
+type snapshot struct {
+	version uint64
+	net     *wdm.Network
+}
+
+// Engine mirrors the daemon: a private working copy plus a published epoch.
+type Engine struct {
+	cur  *wdm.Network
+	snap *snapshot
+}
+
+// Snapshot returns the current epoch and its frozen network: the second
+// taint source.
+func (e *Engine) Snapshot() (uint64, *wdm.Network) {
+	return e.snap.version, e.snap.net
+}
+
+// publish builds the next epoch from the committer's working copy: clean —
+// the CloneSince result is stored, never mutated, and handing the previous
+// frozen net to CloneSince only reads it.
+func (e *Engine) publish() {
+	e.snap = &snapshot{
+		version: e.snap.version + 1,
+		net:     e.cur.CloneSince(e.snap.net, e.snap.version),
+	}
+}
+
+// commit mutates the committer's private working copy: clean.
+func (e *Engine) commit(i int) {
+	e.cur.Use(i)
+}
+
+// routeBad mutates the network straight out of a snapshot: finding.
+func (e *Engine) routeBad(i int) {
+	e.snap.net.Use(i)
+}
+
+// apply mutates whatever network it is handed: classified a mutator of its
+// first parameter by backward propagation.
+func apply(n *wdm.Network, i int) {
+	n.Use(i)
+}
+
+// rerouteBad feeds a snapshot network into the mutating helper: finding.
+func (e *Engine) rerouteBad(i int) {
+	apply(e.snap.net, i)
+}
+
+// readOnly routes on a snapshot without mutating it: clean.
+func (e *Engine) readOnly() int {
+	_, net := e.Snapshot()
+	return net.Lambdas()
+}
+
+// snapFromEngine mutates the network returned by Engine.Snapshot: finding
+// through the tuple-assignment taint.
+func snapFromEngine(e *Engine) {
+	_, net := e.Snapshot()
+	net.Use(0)
+}

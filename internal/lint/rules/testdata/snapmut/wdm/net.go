@@ -1,0 +1,34 @@
+// Package wdm is a fixture mirroring the real network type for the
+// snapshot-mutation rule: Use mutates, Reserve mutates by delegation,
+// CloneSince and Lambdas only read.
+package wdm
+
+// Network mirrors the real wdm.Network.
+type Network struct {
+	links        []int
+	stateVersion uint64
+}
+
+func (g *Network) bumpState() { g.stateVersion++ }
+
+// Use mutates residual state: a seeded mutator.
+func (g *Network) Use(i int) {
+	g.links[i] = 0
+	g.bumpState()
+}
+
+// Reserve delegates to Use: a mutator by call-graph propagation.
+func (g *Network) Reserve(i int) { g.Use(i) }
+
+// Lambdas is a getter: safe on snapshots.
+func (g *Network) Lambdas() int { return len(g.links) }
+
+// CloneSince returns a frozen copy, reading both networks and mutating
+// neither — its result is the taint source.
+func (g *Network) CloneSince(prev *Network, prevVersion uint64) *Network {
+	c := &Network{stateVersion: g.stateVersion}
+	c.links = make([]int, len(g.links))
+	copy(c.links, g.links)
+	_, _ = prev, prevVersion
+	return c
+}

@@ -69,7 +69,7 @@ func runVersionBump(p *lint.Pass) {
 			if recvObj == nil {
 				continue
 			}
-			res := scanNetworkMethod(p, fd.Body, recvObj)
+			res := scanNetworkMethod(p.Info, fd.Body, recvObj)
 			if res.writes && !res.bumps {
 				p.Reportf(fd.Name.Pos(),
 					"%s.%s mutates network state without calling bumpState or bumpTopo; cached skeletons will serve stale routes",
@@ -98,14 +98,14 @@ type vbScan struct {
 // body writes such state, whether it advances a version counter, and — for
 // writes that go through an availability set — whether it stamps the
 // per-link change journal.
-func scanNetworkMethod(p *lint.Pass, body *ast.BlockStmt, recv types.Object) (res vbScan) {
+func scanNetworkMethod(info *types.Info, body *ast.BlockStmt, recv types.Object) (res vbScan) {
 	rooted := map[types.Object]bool{recv: true}
 
 	isRooted := func(e ast.Expr) bool {
 		for {
 			switch x := unparen(e).(type) {
 			case *ast.Ident:
-				return rooted[p.ObjectOf(x)]
+				return rooted[info.ObjectOf(x)]
 			case *ast.SelectorExpr:
 				e = x.X
 			case *ast.IndexExpr:
@@ -120,7 +120,7 @@ func scanNetworkMethod(p *lint.Pass, body *ast.BlockStmt, recv types.Object) (re
 	// isReceiver reports whether e is the receiver identifier itself.
 	isReceiver := func(e ast.Expr) bool {
 		id, ok := unparen(e).(*ast.Ident)
-		return ok && p.ObjectOf(id) == recv
+		return ok && info.ObjectOf(id) == recv
 	}
 	// markAlias records LHS identifiers of a rooted RHS as rooted.
 	markAlias := func(lhs ast.Expr, rhs ast.Expr) {
@@ -128,7 +128,7 @@ func scanNetworkMethod(p *lint.Pass, body *ast.BlockStmt, recv types.Object) (re
 			return
 		}
 		if id, ok := unparen(lhs).(*ast.Ident); ok {
-			if obj := p.ObjectOf(id); obj != nil {
+			if obj := info.ObjectOf(id); obj != nil {
 				rooted[obj] = true
 			}
 		}

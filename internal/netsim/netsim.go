@@ -248,6 +248,7 @@ func (q eventQueue) less(i, j int) bool {
 }
 
 func (q *eventQueue) push(e event) {
+	//wdmlint:ignore hotalloc event-heap growth to peak size; amortizes to zero
 	*q = append(*q, e)
 	h := *q
 	for i := len(h) - 1; i > 0; {
@@ -312,6 +313,11 @@ type Sim struct {
 	connPool []*conn
 	slPool   []*wdm.Semilightpath
 	ids      []int // scratch for the deterministic connection sweeps
+
+	// defaultRoute is the Algorithm-backed routing closure used when the
+	// config supplies no RouteFunc. Built once in New so the arrival hot
+	// path never allocates a fresh closure per request.
+	defaultRoute func(net *wdm.Network, a, b int) (*core.Result, bool)
 }
 
 // New returns a simulator over a private clone of the network.
@@ -342,6 +348,9 @@ func New(net *wdm.Network, cfg Config) *Sim {
 		forced:       make([][]wdm.Wavelength, net.Links()),
 		lastReconfig: math.Inf(-1),
 	}
+	s.defaultRoute = func(net *wdm.Network, a, b int) (*core.Result, bool) {
+		return s.cfg.Algorithm.routeWith(s.router, net, a, b)
+	}
 	cfg.Telemetry.bind(s)
 	return s
 }
@@ -358,6 +367,7 @@ func (s *Sim) copyPath(p *wdm.Semilightpath) *wdm.Semilightpath {
 		c = s.slPool[n-1]
 		s.slPool = s.slPool[:n-1]
 	} else {
+		//wdmlint:ignore hotalloc pool-miss constructor; steady state pops the free list
 		c = &wdm.Semilightpath{}
 	}
 	c.Hops = append(c.Hops[:0], p.Hops...)
@@ -368,6 +378,7 @@ func (s *Sim) copyPath(p *wdm.Semilightpath) *wdm.Semilightpath {
 // path's wavelengths are released and no bookkeeping references it.
 func (s *Sim) putPath(p *wdm.Semilightpath) {
 	if p != nil {
+		//wdmlint:ignore hotalloc free-list growth; amortizes to zero once warm
 		s.slPool = append(s.slPool, p)
 	}
 }
@@ -379,10 +390,12 @@ func (s *Sim) getConn() *conn {
 		*c = conn{}
 		return c
 	}
+	//wdmlint:ignore hotalloc pool-miss constructor; steady state pops the free list
 	return &conn{}
 }
 
 func (s *Sim) putConn(c *conn) {
+	//wdmlint:ignore hotalloc free-list growth; amortizes to zero once warm
 	s.connPool = append(s.connPool, c)
 }
 
@@ -403,6 +416,8 @@ func (s *Sim) push(e event) {
 // emit records a trace event when tracing is enabled. req is the obs request
 // ID the event correlates with (-1 for none). Trace failures never abort the
 // simulation; the first one is kept and reported via TraceErr.
+//
+//wdm:coldpath event emission is a no-op unless a trace sink is attached; sinks are diagnostic-only
 func (s *Sim) emit(kind trace.Kind, connID, link int, req int64, detail string) {
 	if s.cfg.Trace == nil {
 		return
@@ -420,6 +435,8 @@ func (s *Sim) TraceErr() error { return s.traceErr }
 
 // Run processes the request stream to completion (all arrivals, departures,
 // failures and repairs) and returns the metrics.
+//
+//wdm:hotpath
 func (s *Sim) Run(reqs []workload.Request) *Metrics {
 	horizon := 0.0
 	for _, r := range reqs {
@@ -510,9 +527,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 		route := s.cfg.RouteFunc
 		viaRouter := route == nil
 		if route == nil {
-			route = func(net *wdm.Network, a, b int) (*core.Result, bool) {
-				return s.cfg.Algorithm.routeWith(s.router, net, a, b)
-			}
+			route = s.defaultRoute // built once in New; no per-arrival closure
 		}
 		rt := instr.routeTime.Start()
 		tt := s.cfg.Telemetry.routeStart()
@@ -522,6 +537,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 			c.req = s.router.LastTraceID()
 		}
 		if s.tracing() {
+			//wdmlint:ignore hotalloc evaluated only when tracing is enabled (s.tracing() guard)
 			s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
 		}
 		if !ok || core.Establish(s.net, res) != nil {
@@ -541,6 +557,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 			s.m.PathLoad.Add(res.PathLoad)
 		}
 		if s.tracing() {
+			//wdmlint:ignore hotalloc evaluated only when tracing is enabled (s.tracing() guard)
 			s.emit(trace.Accept, r.ID, -1, c.req, fmt.Sprintf("cost=%.4g", res.Cost))
 		}
 	case Passive:
@@ -551,6 +568,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 		p, cost, ok := lightpath.Optimal(s.net, r.Src, r.Dst, nil)
 		instr.routeTime.Stop(rt)
 		if s.tracing() {
+			//wdmlint:ignore hotalloc evaluated only when tracing is enabled (s.tracing() guard)
 			s.emit(trace.Arrival, r.ID, -1, c.req, fmt.Sprintf("%d->%d", r.Src, r.Dst))
 		}
 		if !ok || s.net.Reserve(p) != nil {
@@ -573,6 +591,7 @@ func (s *Sim) handleArrival(r workload.Request) {
 		tc.Int("hops", int64(p.Len()))
 		tc.Finish(obs.StatusOK)
 		if s.tracing() {
+			//wdmlint:ignore hotalloc evaluated only when tracing is enabled (s.tracing() guard)
 			s.emit(trace.Accept, r.ID, -1, c.req, fmt.Sprintf("cost=%.4g", cost))
 		}
 	}
@@ -612,6 +631,7 @@ func (s *Sim) handleDeparture(id int) {
 func (s *Sim) releasePath(p *wdm.Semilightpath) {
 	for _, h := range p.Hops {
 		if s.down[h.Link] {
+			//wdmlint:ignore hotalloc free-list growth; amortizes to zero once warm
 			s.forced[h.Link] = append(s.forced[h.Link], h.Wavelength)
 			continue
 		}
@@ -623,6 +643,8 @@ func (s *Sim) releasePath(p *wdm.Semilightpath) {
 
 // handleFailure picks a random up link, takes it down, and restores the
 // affected connections per the configured discipline.
+//
+//wdm:coldpath failures are rare events, amortized over many arrivals
 func (s *Sim) handleFailure() {
 	link := -1
 	if n := len(s.cfg.FailureLinks); n > 0 {
@@ -786,6 +808,8 @@ func (s *Sim) handleRepair(link int) {
 // rerouted with the load-minimising algorithm. This is the §4 accounting —
 // load-aware routing keeps ρ below the threshold longer, so it crosses (and
 // reconfigures) less often.
+//
+//wdm:coldpath reconfiguration is cooldown-gated and amortized over many arrivals
 func (s *Sim) maybeReconfigure(t float64) {
 	th := s.cfg.ReconfigThreshold
 	if th <= 0 {

@@ -129,6 +129,8 @@ func (t *Telemetry) advance(at float64) {
 }
 
 // finish seals the final (partial) window at end of run.
+//
+//wdm:coldpath runs once at the end of a simulation
 func (t *Telemetry) finish() {
 	if t == nil {
 		return

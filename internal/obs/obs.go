@@ -96,6 +96,8 @@ func (t *Tracer) Flight() *FlightRecorder {
 // logs is distinguishable from the first request). Returns nil — and
 // performs no allocation — when the tracer is nil or disabled. The caller
 // must Finish the trace to land it in the flight recorder.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Tracer) Start(kind string, s, d int) *Trace {
 	if t == nil || !t.enabled.Load() {
 		return nil
@@ -200,6 +202,8 @@ func (t *Trace) ReqID() int64 {
 
 // Begin opens a span and returns its index (-1 on a nil trace). Spans may
 // nest or interleave freely; they are kept in open order.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) Begin(name string) int {
 	if t == nil {
 		return -1
@@ -217,6 +221,8 @@ func (t *Trace) EndSpan(i int) {
 }
 
 // SpanInt attaches an integer attribute to span i.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) SpanInt(i int, key string, v int64) {
 	if t == nil || i < 0 || i >= len(t.Spans) {
 		return
@@ -225,6 +231,8 @@ func (t *Trace) SpanInt(i int, key string, v int64) {
 }
 
 // SpanFloat attaches a float attribute to span i.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) SpanFloat(i int, key string, v float64) {
 	if t == nil || i < 0 || i >= len(t.Spans) {
 		return
@@ -233,6 +241,8 @@ func (t *Trace) SpanFloat(i int, key string, v float64) {
 }
 
 // SpanStr attaches a string attribute to span i.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) SpanStr(i int, key, v string) {
 	if t == nil || i < 0 || i >= len(t.Spans) {
 		return
@@ -241,6 +251,8 @@ func (t *Trace) SpanStr(i int, key, v string) {
 }
 
 // SpanBool attaches a boolean attribute to span i.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) SpanBool(i int, key string, v bool) {
 	if t == nil || i < 0 || i >= len(t.Spans) {
 		return
@@ -253,6 +265,8 @@ func (t *Trace) SpanBool(i int, key string, v bool) {
 }
 
 // Int attaches a request-level integer attribute.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) Int(key string, v int64) {
 	if t == nil {
 		return
@@ -261,6 +275,8 @@ func (t *Trace) Int(key string, v int64) {
 }
 
 // Float attaches a request-level float attribute.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) Float(key string, v float64) {
 	if t == nil {
 		return
@@ -269,6 +285,8 @@ func (t *Trace) Float(key string, v float64) {
 }
 
 // Str attaches a request-level string attribute.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) Str(key, v string) {
 	if t == nil {
 		return
@@ -277,6 +295,8 @@ func (t *Trace) Str(key, v string) {
 }
 
 // SetPayload attaches a structured result to the trace.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) SetPayload(v any) {
 	if t != nil {
 		t.Payload = v
@@ -286,6 +306,8 @@ func (t *Trace) SetPayload(v any) {
 // Finish stamps the end time and status and hands the trace to the flight
 // recorder. A trace must not be written to (or Finished again) afterwards:
 // concurrent dumpers read it without locks.
+//
+//wdm:coldpath nil-safe tracing no-op unless a diagnostic tracer is enabled
 func (t *Trace) Finish(status string) {
 	if t == nil {
 		return

@@ -52,6 +52,7 @@ func (h *IndexedHeap) Push(id int, priority float64) {
 	}
 	h.prio[id] = priority
 	h.pos[id] = len(h.heap)
+	//wdmlint:ignore hotalloc heap growth to peak size; amortizes to zero once warm
 	h.heap = append(h.heap, id)
 	h.up(len(h.heap) - 1)
 }

@@ -557,6 +557,8 @@ func (sh *shard) run() {
 
 // provision routes on the latest snapshot and commits, re-routing on a
 // fresh snapshot after each optimistic conflict up to the retry budget.
+//
+//wdm:hotpath
 func (sh *shard) provision(o *op) {
 	e := sh.e
 	for {
@@ -602,6 +604,8 @@ func (sh *shard) teardown(o *op) {
 
 // reroute routes a fresh pair on the latest snapshot (the connection's own
 // wavelengths still held — make-before-break) and commits the swap.
+//
+//wdm:hotpath
 func (sh *shard) reroute(o *op) {
 	e := sh.e
 	for {

@@ -301,6 +301,8 @@ func (c *Collector) Seal() {
 
 // sealLocked snapshots the open window into the ring (and sink) and opens
 // the next one. Caller holds c.mu.
+//
+//wdm:coldpath window sealing runs once per telemetry window, amortized over the arrivals in it
 func (c *Collector) sealLocked() {
 	snap := Snapshot{
 		Window: c.curIdx,

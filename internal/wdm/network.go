@@ -65,6 +65,7 @@ func (l *Link) MeanAvailCost() float64 {
 		return math.Inf(1)
 	}
 	sum := 0.0
+	//wdmlint:ignore hotalloc non-escaping ForEach visitor; stays on the stack
 	l.avail.ForEach(func(lam int) bool {
 		sum += l.cost[lam]
 		return true
@@ -80,6 +81,7 @@ func (l *Link) MeanInstalledCost() float64 {
 		return math.Inf(1)
 	}
 	sum := 0.0
+	//wdmlint:ignore hotalloc non-escaping ForEach visitor; stays on the stack
 	l.avail.ForEach(func(lam int) bool {
 		sum += l.cost[lam]
 		return true
@@ -299,12 +301,15 @@ func (g *Network) ConvCost(v int, from, to Wavelength) float64 {
 func (g *Network) Use(id int, lambda Wavelength) error {
 	l := g.links[id]
 	if lambda < 0 || lambda >= g.w {
+		//wdmlint:ignore hotalloc error return path; never taken on the admit path
 		return fmt.Errorf("wdm: λ%d out of range [0,%d)", lambda, g.w)
 	}
 	if !l.lambda.Contains(lambda) {
+		//wdmlint:ignore hotalloc error return path; never taken on the admit path
 		return fmt.Errorf("wdm: λ%d not installed on link %d", lambda, id)
 	}
 	if !l.avail.Contains(lambda) {
+		//wdmlint:ignore hotalloc error return path; never taken on the admit path
 		return fmt.Errorf("wdm: λ%d already in use on link %d", lambda, id)
 	}
 	l.avail.Remove(lambda)
@@ -317,12 +322,15 @@ func (g *Network) Use(id int, lambda Wavelength) error {
 func (g *Network) Release(id int, lambda Wavelength) error {
 	l := g.links[id]
 	if lambda < 0 || lambda >= g.w {
+		//wdmlint:ignore hotalloc error return path; never taken on the admit path
 		return fmt.Errorf("wdm: λ%d out of range [0,%d)", lambda, g.w)
 	}
 	if !l.lambda.Contains(lambda) {
+		//wdmlint:ignore hotalloc error return path; never taken on the admit path
 		return fmt.Errorf("wdm: λ%d not installed on link %d", lambda, id)
 	}
 	if l.avail.Contains(lambda) {
+		//wdmlint:ignore hotalloc error return path; never taken on the admit path
 		return fmt.Errorf("wdm: λ%d not in use on link %d", lambda, id)
 	}
 	l.avail.Add(lambda)

@@ -177,9 +177,11 @@ func (g *Network) Reserve(p *Semilightpath) error {
 			for j := 0; j < i; j++ {
 				// Rollback cannot fail: we just reserved these.
 				if rerr := g.Release(p.Hops[j].Link, p.Hops[j].Wavelength); rerr != nil {
+					//wdmlint:ignore hotalloc panic-path formatting; unreachable in a correct run
 					panic(fmt.Sprintf("wdm: rollback failed: %v", rerr))
 				}
 			}
+			//wdmlint:ignore hotalloc error return path; never taken on the admit path
 			return fmt.Errorf("wdm: reserve hop %d: %w", i, err)
 		}
 	}
@@ -190,6 +192,7 @@ func (g *Network) Reserve(p *Semilightpath) error {
 func (g *Network) ReleasePath(p *Semilightpath) error {
 	for i, h := range p.Hops {
 		if err := g.Release(h.Link, h.Wavelength); err != nil {
+			//wdmlint:ignore hotalloc error return path; never taken on the admit path
 			return fmt.Errorf("wdm: release hop %d: %w", i, err)
 		}
 	}
