@@ -29,6 +29,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/slo"
 	"repro/internal/timeseries"
 )
 
@@ -52,6 +53,14 @@ func main() {
 	journalCap := flag.Int("journal", 0, "retain up to this many commit-ordered journal entries (0 = off)")
 	window := flag.Float64("window", 5, "telemetry window width in wall-clock seconds (0 = telemetry off)")
 	timeseriesOut := flag.String("timeseries-out", "", "stream sealed telemetry windows to this file (.csv → CSV, else JSONL)")
+	sloP99 := flag.Float64("slo-p99", 0, "SLO: p99 request latency ceiling in seconds (0 = off)")
+	sloBlocking := flag.Float64("slo-blocking", 0, "SLO: blocking-probability ceiling (0 = off)")
+	sloConflicts := flag.Float64("slo-conflict-rate", 0, "SLO: commit-conflict rate ceiling in conflicts/second (0 = off)")
+	sloStale := flag.Float64("slo-stale-epochs", 0, "SLO: epoch-publish staleness ceiling in seconds (0 = off)")
+	sloShort := flag.Int("slo-short", 0, "SLO short burn window in sealed telemetry windows (0 = 3)")
+	sloLong := flag.Int("slo-long", 0, "SLO long burn window in sealed telemetry windows (0 = 12)")
+	incidentDir := flag.String("incident-dir", "", "capture incident bundles (pprof + flight + timeseries + status) into this directory on SLO breach")
+	incidentEvery := flag.Duration("incident-every", 0, "minimum interval between incident captures (0 = 1m)")
 	flightCap := flag.Int("flight", obs.DefaultCapacity, "flight-recorder capacity (last N request traces; 0 = tracing off)")
 	soakCount := flag.Int("soak", 0, "soak mode: run this many in-process requests instead of serving, print the report, exit")
 	drive := flag.Bool("drive", false, "drive mode: hammer a live daemon at http://<addr> instead of serving")
@@ -121,6 +130,46 @@ func main() {
 			engine.SetTelemetrySink(snk, snk.Close)
 		}
 	}
+
+	// SLO watchdog: each -slo-* flag declares one objective over the sealed
+	// telemetry windows; breaches capture incident bundles into -incident-dir.
+	var objectives []slo.Objective
+	addObj := func(name, series string, kind slo.Kind, max float64) {
+		if max > 0 {
+			objectives = append(objectives, slo.Objective{
+				Name: name, Series: series, Kind: kind, Max: max,
+				ShortWindows: *sloShort, LongWindows: *sloLong,
+			})
+		}
+	}
+	addObj("request-p99", serve.SeriesRequestLatency, slo.KindP99, *sloP99)
+	addObj("blocking", serve.SeriesBlocking, slo.KindRatio, *sloBlocking)
+	addObj("conflict-rate", serve.SeriesConflicts, slo.KindRate, *sloConflicts)
+	addObj("epoch-staleness", serve.SeriesEpochs, slo.KindStaleness, *sloStale)
+	if len(objectives) > 0 {
+		watchdog, err := slo.New(objectives...)
+		if err != nil {
+			fatal(err)
+		}
+		watchdog.EnableMetrics(reg)
+		var capturer *slo.Capturer
+		if *incidentDir != "" {
+			capturer, err = slo.NewCapturer(slo.CaptureConfig{
+				Dir:         *incidentDir,
+				MinInterval: *incidentEvery,
+				Flight:      tracer.Flight(),
+				Series:      engine.Collector(),
+				Status:      func() any { return engine.Status() },
+			})
+			if err != nil {
+				fatal(err)
+			}
+		}
+		if err := engine.AttachSLO(watchdog, capturer); err != nil {
+			fatal(err)
+		}
+	}
+
 	if err := engine.Start(); err != nil {
 		fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/slo"
 	"repro/internal/timeseries"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -50,6 +51,9 @@ func main() {
 	linger := flag.Float64("linger", 0, "keep the -serve endpoints up this many seconds after the run (for probes)")
 	candidates := flag.Int("candidates", 0, "candidate fast tier: precompute k route pairs per node pair and try them before exact routing (0 = off)")
 	soak := flag.Bool("soak", false, "soak mode: collect windowed telemetry and print the latency/blocking curve")
+	sloP99 := flag.Float64("slo-p99", 0, "SLO: p99 routing latency ceiling in seconds, evaluated per telemetry window (0 = off)")
+	sloBlocking := flag.Float64("slo-blocking", 0, "SLO: blocking-probability ceiling per telemetry window (0 = off)")
+	incidentDir := flag.String("incident-dir", "", "capture incident bundles into this directory on SLO breach")
 	window := flag.Float64("window", 5, "telemetry window width in sim-time units")
 	timeseriesOut := flag.String("timeseries-out", "", "stream sealed telemetry windows to this file (.csv → CSV, else JSONL)")
 	version := cli.VersionFlag()
@@ -113,12 +117,56 @@ func main() {
 			tsSink = snk
 		}
 	}
+	// SLO objectives over the simulator's sim-time windows: same watchdog as
+	// wdmd, driven by the collector's SimClock instead of wall time.
+	var watchdog *slo.Watchdog
+	var capturer *slo.Capturer
+	if *sloP99 > 0 || *sloBlocking > 0 {
+		if tel == nil {
+			fmt.Fprintln(os.Stderr, "slo flags need telemetry (-soak, -serve or -timeseries-out)")
+			os.Exit(1)
+		}
+		var objectives []slo.Objective
+		if *sloP99 > 0 {
+			objectives = append(objectives, slo.Objective{
+				Name: "route-p99", Series: netsim.SeriesRouteLatency, Kind: slo.KindP99, Max: *sloP99,
+			})
+		}
+		if *sloBlocking > 0 {
+			objectives = append(objectives, slo.Objective{
+				Name: "blocking", Series: netsim.SeriesBlocking, Kind: slo.KindRatio, Max: *sloBlocking,
+			})
+		}
+		wd, err := slo.New(objectives...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		watchdog = wd
+		watchdog.EnableMetrics(reg)
+		if *incidentDir != "" {
+			cap, err := slo.NewCapturer(slo.CaptureConfig{
+				Dir:    *incidentDir,
+				Flight: tracer.Flight(),
+				Series: tel.Collector(),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			capturer = cap
+			watchdog.OnBreach(capturer.HandleBreach)
+		}
+		watchdog.Bind(tel.Collector())
+	}
 	if *serveAddr != "" {
 		addr, err := cli.StartDebugServer(*serveAddr, cli.DebugOpts{
-			Metrics:  reg,
-			Flight:   tracer.Flight(),
-			Series:   tel.Collector(),
-			NetState: tel.NetState,
+			Metrics:   reg,
+			Flight:    tracer.Flight(),
+			Series:    tel.Collector(),
+			NetState:  tel.NetState,
+			SLO:       watchdog,
+			Incidents: capturer,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/explain"
+	"repro/internal/slo"
 	"repro/internal/timeseries"
 )
 
@@ -30,6 +31,18 @@ type DebugOpts struct {
 	// the latest sealed network snapshot (nil until one exists). Typically
 	// (*netsim.Telemetry).NetState.
 	NetState func() *timeseries.NetState
+	// SLO backs /debug/slo: the watchdog's objective states and burn rates.
+	SLO *slo.Watchdog
+	// Incidents backs /debug/incidents: captured incident bundles.
+	Incidents *slo.Capturer
+}
+
+// jsonError writes a structured error body, so programmatic clients of the
+// debug API never have to scrape free-text messages on bad parameters.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 // DebugMux builds the debug HTTP handler shared by wdmsim -serve and tests:
@@ -40,7 +53,12 @@ type DebugOpts struct {
 //	/debug/explain/<id>   explain report for request <id> (JSON; ?format=text)
 //	/debug/timeseries     sealed telemetry windows, oldest first (?last=N)
 //	/debug/net            latest per-link network-state snapshot
+//	/debug/slo            SLO watchdog state and burn rates
+//	/debug/incidents      captured incident bundles
 //	/debug/pprof/*        the standard runtime profiles
+//
+// Bad query parameters (non-numeric last=/req=, unknown format=) answer
+// HTTP 400 with a JSON {"error": ...} body.
 //
 // Unlike StartPprof this never touches http.DefaultServeMux, so several
 // servers (or tests) can coexist in one process.
@@ -59,7 +77,7 @@ func DebugMux(o DebugOpts) *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = reg.WritePrometheus(w)
 	})
-	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
 		if fr == nil {
 			http.Error(w, "flight recorder not enabled", http.StatusNotFound)
 			return
@@ -68,7 +86,24 @@ func DebugMux(o DebugOpts) *http.ServeMux {
 		// status code is committed, so encoding errors could no longer be
 		// reported to the client.
 		var buf bytes.Buffer
-		if err := fr.Dump(&buf); err != nil {
+		if q := r.URL.Query().Get("req"); q != "" {
+			// ?req=<id> filters the dump to one request's traces — the join
+			// target of the X-Wdmd-Req response header.
+			id, err := strconv.ParseInt(q, 10, 64)
+			if err != nil || id < 0 {
+				jsonError(w, http.StatusBadRequest, fmt.Sprintf("bad req=%q: want a non-negative integer", q))
+				return
+			}
+			found, err := fr.DumpReq(&buf, id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if !found {
+				jsonError(w, http.StatusNotFound, fmt.Sprintf("request %d not in the flight recorder (evicted or never traced)", id))
+				return
+			}
+		} else if err := fr.Dump(&buf); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -83,7 +118,12 @@ func DebugMux(o DebugOpts) *http.ServeMux {
 		idStr := strings.TrimPrefix(r.URL.Path, "/debug/explain/")
 		id, err := strconv.ParseInt(idStr, 10, 64)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad request id %q", idStr), http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, fmt.Sprintf("bad request id %q", idStr))
+			return
+		}
+		format := r.URL.Query().Get("format")
+		if format != "" && format != "text" && format != "json" {
+			jsonError(w, http.StatusBadRequest, fmt.Sprintf("bad format=%q: want \"text\" or \"json\"", format))
 			return
 		}
 		tc := fr.Find(id)
@@ -97,7 +137,7 @@ func DebugMux(o DebugOpts) *http.ServeMux {
 			return
 		}
 		var buf bytes.Buffer
-		if r.URL.Query().Get("format") == "text" {
+		if format == "text" {
 			err = rep.WriteText(&buf)
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		} else {
@@ -119,7 +159,7 @@ func DebugMux(o DebugOpts) *http.ServeMux {
 		if q := r.URL.Query().Get("last"); q != "" {
 			n, err := strconv.Atoi(q)
 			if err != nil || n < 0 {
-				http.Error(w, fmt.Sprintf("bad last=%q", q), http.StatusBadRequest)
+				jsonError(w, http.StatusBadRequest, fmt.Sprintf("bad last=%q: want a non-negative integer", q))
 				return
 			}
 			last = n
@@ -149,6 +189,36 @@ func DebugMux(o DebugOpts) *http.ServeMux {
 		enc := json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(ns); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = buf.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+		if o.SLO == nil {
+			http.Error(w, "slo watchdog not enabled", http.StatusNotFound)
+			return
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o.SLO.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = buf.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/incidents", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Incidents == nil {
+			http.Error(w, "incident capture not enabled", http.StatusNotFound)
+			return
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(o.Incidents.Status()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/obs/explain"
+	"repro/internal/slo"
 	"repro/internal/timeseries"
 	"repro/internal/topo"
 )
@@ -182,6 +183,142 @@ func TestDebugMuxNetState(t *testing.T) {
 
 	if code, _ := get(t, DebugMux(DebugOpts{}), "/debug/net"); code != http.StatusNotFound {
 		t.Fatalf("disabled probe = %d, want 404", code)
+	}
+}
+
+// TestDebugMuxBadQueryParams pins the hardened parameter handling: every
+// malformed query parameter on the debug surface answers HTTP 400 with a
+// JSON {"error": ...} body, never a free-text 500 or a silent default.
+func TestDebugMuxBadQueryParams(t *testing.T) {
+	tr, id := tracedRequest(t)
+	col := timeseries.New(timeseries.Config{Window: 1, Clock: timeseries.NewSimClock()})
+	mux := DebugMux(DebugOpts{Flight: tr.Flight(), Series: col})
+
+	cases := []struct {
+		name string
+		url  string
+	}{
+		{"timeseries last not a number", "/debug/timeseries?last=nope"},
+		{"timeseries negative last", "/debug/timeseries?last=-3"},
+		{"timeseries float last", "/debug/timeseries?last=1.5"},
+		{"flight req not a number", "/debug/flight?req=abc"},
+		{"flight negative req", "/debug/flight?req=-1"},
+		{"flight overflow req", "/debug/flight?req=99999999999999999999"},
+		{"explain malformed id", "/debug/explain/nope"},
+		{"explain empty id", "/debug/explain/"},
+		{"explain unknown format", fmt.Sprintf("/debug/explain/%d?format=xml", id)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := get(t, mux, tc.url)
+			if code != http.StatusBadRequest {
+				t.Fatalf("GET %s = %d %q, want 400", tc.url, code, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+				t.Fatalf("GET %s body %q is not a JSON error (%v)", tc.url, body, err)
+			}
+		})
+	}
+
+	// The explicit formats still work after the validation tightening.
+	for _, format := range []string{"json", "text"} {
+		url := fmt.Sprintf("/debug/explain/%d?format=%s", id, format)
+		if code, body := get(t, mux, url); code != http.StatusOK {
+			t.Fatalf("GET %s = %d %q", url, code, body)
+		}
+	}
+}
+
+// TestDebugMuxFlightReqFilter: ?req=<id> narrows the dump to one request's
+// traces — the server side of the X-Wdmd-Req join.
+func TestDebugMuxFlightReqFilter(t *testing.T) {
+	net := topo.NSFNET(topo.Config{W: 4})
+	tr := obs.New(obs.Config{Capacity: 16})
+	r := core.NewRouter(nil)
+	r.SetTracer(tr)
+	if _, ok := r.ApproxMinCost(net, 0, 9); !ok {
+		t.Fatal("route 0→9 failed")
+	}
+	id1 := r.LastTraceID()
+	if _, ok := r.ApproxMinCost(net, 1, 7); !ok {
+		t.Fatal("route 1→7 failed")
+	}
+	id2 := r.LastTraceID()
+	mux := DebugMux(DebugOpts{Flight: tr.Flight()})
+
+	code, body := get(t, mux, fmt.Sprintf("/debug/flight?req=%d", id1))
+	if code != http.StatusOK {
+		t.Fatalf("filtered dump = %d %q", code, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("filter for req %d returned %d lines, want 1", id1, len(lines))
+	}
+	var rec struct {
+		Req int64 `json:"req"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil || rec.Req != id1 {
+		t.Fatalf("filtered line %q: err %v, req %d want %d (other trace %d)", lines[0], err, rec.Req, id1, id2)
+	}
+
+	// Evicted / never-traced IDs answer a structured 404.
+	code, body = get(t, mux, "/debug/flight?req=999999")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown req = %d, want 404", code)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+		t.Fatalf("unknown req body %q is not a JSON error", body)
+	}
+}
+
+// TestDebugMuxSLOAndIncidents covers the two observability endpoints: 404
+// with nothing wired, well-formed JSON status documents otherwise.
+func TestDebugMuxSLOAndIncidents(t *testing.T) {
+	bare := DebugMux(DebugOpts{})
+	for _, path := range []string{"/debug/slo", "/debug/incidents"} {
+		if code, _ := get(t, bare, path); code != http.StatusNotFound {
+			t.Fatalf("GET %s unwired = %d, want 404", path, code)
+		}
+	}
+
+	wd, err := slo.New(slo.Objective{Name: "p99", Series: "lat", Kind: slo.KindP99, Max: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capt, err := slo.NewCapturer(slo.CaptureConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := DebugMux(DebugOpts{SLO: wd, Incidents: capt})
+
+	code, body := get(t, mux, "/debug/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slo = %d %q", code, body)
+	}
+	var st slo.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/debug/slo JSON: %v", err)
+	}
+	if st.State != "healthy" || len(st.Objectives) != 1 || st.Objectives[0].Name != "p99" {
+		t.Fatalf("/debug/slo status = %+v", st)
+	}
+
+	code, body = get(t, mux, "/debug/incidents")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/incidents = %d %q", code, body)
+	}
+	var cs slo.CaptureStatus
+	if err := json.Unmarshal([]byte(body), &cs); err != nil {
+		t.Fatalf("/debug/incidents JSON: %v", err)
+	}
+	if cs.Dir == "" || len(cs.Bundles) != 0 {
+		t.Fatalf("/debug/incidents status = %+v", cs)
 	}
 }
 

@@ -37,9 +37,41 @@ type Router struct {
 	cand    candScratch
 	arena   resultArena
 
-	tracer  *obs.Tracer
-	lastReq int64 // request ID of the most recent traced call (-1 when untraced)
+	tracer   *obs.Tracer
+	lastReq  int64 // request ID of the most recent traced call (-1 when untraced)
+	lastTier Tier  // which tier answered the most recent routing call
 }
+
+// Tier identifies which routing tier answered a request — the stage-level
+// attribution hook the serving layer splits its route timers by.
+type Tier uint8
+
+const (
+	// TierExact: the exact auxiliary-graph pipeline routed the request
+	// (no candidate table configured, or the algorithm has no fast tier).
+	TierExact Tier = iota
+	// TierCandidate: a precomputed candidate pair was feasible — the fast
+	// tier answered without touching the auxiliary graph.
+	TierCandidate
+	// TierFallback: the candidate tier was consulted but no cached pair was
+	// feasible; the exact pipeline answered.
+	TierFallback
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierCandidate:
+		return "candidate"
+	case TierFallback:
+		return "exact-fallback"
+	}
+	return "exact"
+}
+
+// LastTier reports which tier answered the most recent routing call on this
+// router. Like LastTraceID it is only meaningful immediately after the call,
+// on the goroutine that owns the router.
+func (r *Router) LastTier() Tier { return r.lastTier }
 
 type skelKey struct {
 	s, t         int
@@ -81,6 +113,7 @@ func (r *Router) LastTraceID() int64 { return r.lastReq }
 func (r *Router) begin(kind string, s, t int) *obs.Trace {
 	tc := r.tracer.Start(kind, s, t)
 	r.lastReq = tc.ReqID()
+	r.lastTier = TierExact
 	r.ws.Trace = tc
 	return tc
 }
@@ -168,11 +201,13 @@ func (r *Router) ApproxMinCost(net *wdm.Network, s, t int) (*Result, bool) {
 		if res, ok := r.candidateRoute(net, s, t, tab); ok {
 			instr.routeFound.Inc()
 			instr.candidateHits.Inc()
+			r.lastTier = TierCandidate
 			tc.Str("tier", "candidate")
 			r.finish(tc, net, res, true, false)
 			return res, true
 		}
 		instr.candidateFallbacks.Inc()
+		r.lastTier = TierFallback
 		tc.Str("tier", "exact-fallback")
 	}
 	tb := instr.phaseBuild.Start()

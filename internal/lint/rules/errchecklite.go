@@ -46,6 +46,18 @@ var ecMethodRules = []struct {
 	{"serve", "Close"},
 }
 
+// ecFuncRules match a package-level function by name plus the package-path
+// suffix of its defining package — the non-method side of the curated list.
+var ecFuncRules = []struct {
+	pkg, fn string
+}{
+	// runtime/pprof profile starts fail when another profile is already
+	// running; ignoring that writes an empty or stale cpu.pprof into an
+	// incident bundle with no other symptom.
+	{"pprof", "StartCPUProfile"},
+	{"pprof", "WriteHeapProfile"},
+}
+
 func runErrCheckLite(p *lint.Pass) {
 	for _, f := range p.Files {
 		for _, body := range funcScopes(f) {
@@ -88,7 +100,16 @@ func checkScope(p *lint.Pass, body *ast.BlockStmt) {
 			return true
 		}
 		sig, ok := fn.Type().(*types.Signature)
-		if !ok || sig.Recv() == nil || !returnsError(sig) {
+		if !ok || !returnsError(sig) {
+			return true
+		}
+		if sig.Recv() == nil {
+			for _, rule := range ecFuncRules {
+				if fn.Name() == rule.fn && fn.Pkg() != nil && lint.PkgPathIs(fn.Pkg(), rule.pkg) {
+					p.Reportf(call.Pos(), "error from %s.%s is discarded; the profile may silently be missing or stale", fn.Pkg().Name(), fn.Name())
+					return true
+				}
+			}
 			return true
 		}
 		recvPkg, recvName := recvTypeOf(sig)

@@ -26,7 +26,7 @@ var fixtures = []struct {
 	{"freshrouter", rules.FreshRouter, []string{"core", "app", "netsim"}},
 	{"nocopy", rules.NoCopy, []string{"graph", "app"}},
 	{"mapdet", rules.MapDet, []string{"core", "other"}},
-	{"errcheck", rules.ErrCheckLite, []string{"trace", "obs", "timeseries", "http", "serve", "app"}},
+	{"errcheck", rules.ErrCheckLite, []string{"trace", "obs", "timeseries", "http", "serve", "pprof", "app"}},
 	{"hotalloc", rules.HotAlloc, []string{"graph", "app"}},
 	{"snapmut", rules.SnapMut, []string{"wdm", "serve", "app"}},
 	{"atomicfield", rules.AtomicField, []string{"core", "other"}},

@@ -9,6 +9,7 @@ import (
 
 	"fix/errcheck/http"
 	"fix/errcheck/obs"
+	"fix/errcheck/pprof"
 	"fix/errcheck/serve"
 	"fix/errcheck/timeseries"
 	"fix/errcheck/trace"
@@ -122,6 +123,26 @@ func DeferShutdown(srv *http.Server, ctx context.Context) error {
 // CheckedShutdown propagates the drain verdict: clean.
 func CheckedShutdown(srv *http.Server, ctx context.Context) error {
 	return srv.Shutdown(ctx)
+}
+
+// DropProfileStart discards the CPU-profile start verdict: finding.
+func DropProfileStart(w io.Writer) {
+	pprof.StartCPUProfile(w)
+	defer pprof.StopCPUProfile()
+}
+
+// DropHeapProfile discards the heap-profile write error: finding.
+func DropHeapProfile(w io.Writer) {
+	pprof.WriteHeapProfile(w)
+}
+
+// CheckedProfileStart propagates the start verdict: clean.
+func CheckedProfileStart(w io.Writer) error {
+	if err := pprof.StartCPUProfile(w); err != nil {
+		return err
+	}
+	defer pprof.StopCPUProfile()
+	return pprof.WriteHeapProfile(w)
 }
 
 // DropEngineClose discards the engine's first sink error: finding.

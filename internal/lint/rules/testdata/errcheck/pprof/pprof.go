@@ -1,0 +1,15 @@
+// Package pprof is a fixture standing in for runtime/pprof: profile starts
+// fail when another profile is already running, and a dropped error leaves an
+// empty or stale profile in an incident bundle with no other symptom.
+package pprof
+
+import "io"
+
+// StartCPUProfile begins a CPU profile into w; it fails if one is running.
+func StartCPUProfile(w io.Writer) error { return nil }
+
+// StopCPUProfile ends the running CPU profile (no error to drop).
+func StopCPUProfile() {}
+
+// WriteHeapProfile snapshots the heap into w.
+func WriteHeapProfile(w io.Writer) error { return nil }

@@ -262,6 +262,16 @@ func (t *Timer) Stop(start time.Time) {
 	t.h.Observe(time.Since(start).Seconds())
 }
 
+// Observe records an already-measured duration — the hook for callers that
+// stamp timestamps themselves (stage attribution accumulates nanoseconds in
+// request state and folds them in once at the end of the request).
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil || d < 0 {
+		return
+	}
+	t.h.Observe(d.Seconds())
+}
+
 // Hist exposes the underlying histogram (nil for a nil timer).
 func (t *Timer) Hist() *Histogram {
 	if t == nil {

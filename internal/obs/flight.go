@@ -182,6 +182,29 @@ func (f *FlightRecorder) Dump(w io.Writer) error {
 	return nil
 }
 
+// DumpReq writes only the retained traces with the given request ID as
+// JSONL — the `?req=` filter behind /debug/flight, so one slow HTTP response
+// (whose X-Wdmd-Req header carries the ID) joins to its spans in one curl.
+// Like Dump, the error must be checked. It reports whether any trace matched.
+func (f *FlightRecorder) DumpReq(w io.Writer, req int64) (bool, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	found := false
+	for _, t := range f.Snapshot() {
+		if t.Req != req {
+			continue
+		}
+		found = true
+		if err := enc.Encode(wire(t)); err != nil {
+			return found, fmt.Errorf("obs: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return found, fmt.Errorf("obs: %w", err)
+	}
+	return found, nil
+}
+
 // DumpFile writes the retained traces as JSONL to path (truncating it).
 func (f *FlightRecorder) DumpFile(path string) error {
 	fh, err := os.Create(path)

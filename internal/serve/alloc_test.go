@@ -1,0 +1,41 @@
+//go:build !race
+
+// Allocation-regression tests, excluded from -race runs (the detector's
+// instrumentation breaks testing.AllocsPerRun accounting).
+package serve
+
+import "testing"
+
+// provisionAllocBudget is the whole-pipeline allocation budget for one
+// provision + teardown round trip with telemetry, metrics and tracing all
+// disabled: the op pair and their reply channels, op-owned path copies, the
+// registry record, the response hop slices, the committer's two copy-on-write
+// epoch publishes, and the router re-deriving per-snapshot state (every
+// commit publishes a fresh network pointer, so snapshot-keyed caches never
+// hit under churn). Measured 741, bit-stable across runs; the margin absorbs
+// runtime and map-layout drift. What this pins: stage attribution stores its
+// stamps inside the already-allocated op, so instrumenting the hot path added
+// zero allocations — any instrumentation that allocates per attempt or per
+// request pushes past the margin.
+const provisionAllocBudget = 790
+
+// TestProvisionAllocs pins the disabled-telemetry allocation contract of the
+// request pipeline (see stageNanos: attribution must ride inside the op).
+func TestProvisionAllocs(t *testing.T) {
+	e := startEngine(t, nsf(8), Config{Shards: 2})
+	var id int64
+	run := func() {
+		id++
+		resp := e.Provision(Request{ID: id, Src: 0, Dst: 9})
+		if !resp.Accepted {
+			t.Fatalf("provision %d rejected: %+v", id, resp)
+		}
+		if resp = e.Teardown(id); !resp.Accepted {
+			t.Fatalf("teardown %d rejected: %+v", id, resp)
+		}
+	}
+	run() // warm the shard router's skeleton caches outside the window
+	if n := testing.AllocsPerRun(200, run); n > provisionAllocBudget {
+		t.Fatalf("provision+teardown allocates %.0f, budget %d", n, provisionAllocBudget)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/metrics"
@@ -34,18 +36,23 @@ type HopOut struct {
 // rejections (no route, conflict, unknown connection) are HTTP 200 with
 // Accepted=false and a Reason — only malformed requests get a 4xx.
 type Response struct {
-	ID       int64    `json:"id"`
-	Op       string   `json:"op"`
-	Accepted bool     `json:"accepted"`
-	Reason   string   `json:"reason,omitempty"`
-	Detail   string   `json:"detail,omitempty"`
-	Cost     float64  `json:"cost,omitempty"`
-	PathLoad float64  `json:"path_load,omitempty"`
-	Epoch    uint64   `json:"epoch"`
-	Shard    int      `json:"shard"`
-	Retries  int      `json:"retries,omitempty"`
-	Primary  []HopOut `json:"primary,omitempty"`
-	Backup   []HopOut `json:"backup,omitempty"`
+	ID       int64   `json:"id"`
+	Op       string  `json:"op"`
+	Accepted bool    `json:"accepted"`
+	Reason   string  `json:"reason,omitempty"`
+	Detail   string  `json:"detail,omitempty"`
+	Cost     float64 `json:"cost,omitempty"`
+	PathLoad float64 `json:"path_load,omitempty"`
+	Epoch    uint64  `json:"epoch"`
+	Shard    int     `json:"shard"`
+	Retries  int     `json:"retries,omitempty"`
+	// Req is the flight-recorder request ID of the routing trace behind this
+	// response (0 when tracing is off). The HTTP layer echoes it as the
+	// X-Wdmd-Req header, so a slow response joins to its spans via
+	// /debug/flight?req=<id> or /debug/explain/<id>.
+	Req     int64    `json:"req,omitempty"`
+	Primary []HopOut `json:"primary,omitempty"`
+	Backup  []HopOut `json:"backup,omitempty"`
 }
 
 func rejectResponse(id int64, op, reason, detail string) Response {
@@ -100,39 +107,66 @@ func (e *Engine) Handler(reg *metrics.Registry) *http.ServeMux {
 		fr = e.cfg.Tracer.Flight()
 	}
 	mux := cli.DebugMux(cli.DebugOpts{
-		Metrics:  reg,
-		Flight:   fr,
-		Series:   e.Collector(),
-		NetState: e.NetState,
+		Metrics:   reg,
+		Flight:    fr,
+		Series:    e.Collector(),
+		NetState:  e.NetState,
+		SLO:       e.watchdog,
+		Incidents: e.incidents,
 	})
 	mux.HandleFunc("POST /provision", func(w http.ResponseWriter, r *http.Request) {
-		req, err := DecodeRequest(r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		req, ok := e.decodeTimed(w, r)
+		if !ok {
 			return
 		}
-		writeJSON(w, e.Provision(req))
+		writeResponse(w, e.Provision(req))
 	})
 	mux.HandleFunc("POST /teardown", func(w http.ResponseWriter, r *http.Request) {
-		req, err := DecodeRequest(r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		req, ok := e.decodeTimed(w, r)
+		if !ok {
 			return
 		}
-		writeJSON(w, e.Teardown(req.ID))
+		writeResponse(w, e.Teardown(req.ID))
 	})
 	mux.HandleFunc("POST /reroute", func(w http.ResponseWriter, r *http.Request) {
-		req, err := DecodeRequest(r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		req, ok := e.decodeTimed(w, r)
+		if !ok {
 			return
 		}
-		writeJSON(w, e.Reroute(req.ID))
+		writeResponse(w, e.Reroute(req.ID))
 	})
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, e.Status())
 	})
 	return mux
+}
+
+// decodeTimed parses one request body, timing the decode into the
+// wdmd_stage_decode_seconds timer and its telemetry histogram — decode
+// happens before the request clock starts, so it is reported as HTTP
+// overhead alongside (not inside) the pipeline stages. On a parse error it
+// writes the 400 and reports ok=false.
+func (e *Engine) decodeTimed(w http.ResponseWriter, r *http.Request) (Request, bool) {
+	t := time.Now()
+	req, err := DecodeRequest(r.Body)
+	d := time.Since(t)
+	instr.stageDecode.Observe(d)
+	e.tel.observeDecode(d)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return Request{}, false
+	}
+	return req, true
+}
+
+// writeResponse writes a pipeline Response, echoing its flight-recorder
+// request ID (when traced) as the X-Wdmd-Req header so callers can join the
+// HTTP exchange to /debug/flight?req=<id> without parsing the body.
+func writeResponse(w http.ResponseWriter, resp Response) {
+	if resp.Req > 0 {
+		w.Header().Set("X-Wdmd-Req", strconv.FormatInt(resp.Req, 10))
+	}
+	writeJSON(w, resp)
 }
 
 // writeJSON encodes v into a buffer first so an encoding failure can still

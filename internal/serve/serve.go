@@ -48,6 +48,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/slo"
 	"repro/internal/wdm"
 )
 
@@ -229,6 +230,16 @@ type op struct {
 	retries   int
 	audit     func(cur *wdm.Network) error // opAudit only
 
+	// Stage attribution (see stageNanos): t0 is the request clock start,
+	// last the most recent stage boundary the shard stamped (finishOp folds
+	// last → done into commit so the stages sum to the request time), st the
+	// accumulated per-stage nanos, traceReq the flight-recorder request ID of
+	// the first routing attempt (0 when untraced) echoed as X-Wdmd-Req.
+	t0       time.Time
+	last     time.Time
+	st       stageNanos
+	traceReq int64
+
 	commit chan commitResult
 	done   chan commitResult
 }
@@ -283,6 +294,16 @@ type Engine struct {
 	tel     *telemetry
 	start   time.Time
 
+	// contention[link] counts commit-time reservation conflicts charged to
+	// that link (committer-only writes, atomic so the telemetry prober may
+	// read concurrently). The sealed top-K lands in NetState.Contention.
+	contention []atomic.Int64
+
+	// watchdog / incidents, when attached, back /debug/slo and
+	// /debug/incidents on the engine's Handler.
+	watchdog  *slo.Watchdog
+	incidents *slo.Capturer
+
 	mu       sync.Mutex
 	started  bool
 	closed   bool
@@ -299,6 +320,12 @@ type shard struct {
 	e      *Engine
 	q      chan *op
 	router *core.Router
+
+	// Per-shard attribution counters for /status (ShardDetail): a hot shard
+	// or a conflict-prone region shows up here, not just in the aggregates.
+	ops       atomic.Int64
+	conflicts atomic.Int64
+	retries   atomic.Int64
 }
 
 // New builds an engine over a private clone of net. Call Start before
@@ -315,6 +342,7 @@ func New(net *wdm.Network, cfg Config) *Engine {
 		journal:  journal{cap: cfg.JournalCap},
 		start:    time.Now(),
 	}
+	e.contention = make([]atomic.Int64, st.cur.Links())
 	// Per-shard router options: ReuseResult is safe (shards copy paths out
 	// immediately) and the candidate table — built once from the
 	// authoritative clone — is read-only, so every shard may share it.
@@ -335,6 +363,26 @@ func New(net *wdm.Network, cfg Config) *Engine {
 	}
 	e.tel = newTelemetry(e, cfg.Window, cfg.Retention)
 	return e
+}
+
+// AttachSLO binds a watchdog (plus optional incident capturer) to the
+// engine: the watchdog subscribes to the telemetry collector's sealed
+// windows, breaches flow into the capturer, and both back /debug/slo and
+// /debug/incidents on Handler. Call before Start; requires telemetry
+// (Config.Window > 0) since objectives evaluate over sealed windows.
+func (e *Engine) AttachSLO(w *slo.Watchdog, c *slo.Capturer) error {
+	if w == nil {
+		return nil
+	}
+	if e.tel == nil {
+		return fmt.Errorf("serve: SLO watchdog needs telemetry (set Config.Window)")
+	}
+	e.watchdog, e.incidents = w, c
+	w.Bind(e.tel.col)
+	if c != nil {
+		w.OnBreach(c.HandleBreach)
+	}
+	return nil
 }
 
 // Nodes returns |V| of the served network.
@@ -434,6 +482,7 @@ func (e *Engine) Provision(req Request) Response {
 	instr.provisions.Inc()
 
 	o := newOp(opProvision, req.ID, req.Src, req.Dst, algo)
+	o.t0 = t0
 	e.shardOf(req.Src, req.Dst).q <- o
 	return e.finishOp(o, <-o.done, "provision", t0)
 }
@@ -450,10 +499,11 @@ func (e *Engine) Teardown(id int64) Response {
 
 	c, ok := e.lookupConn(id)
 	if !ok {
-		e.tel.observe("teardown", time.Since(t0), false)
+		e.tel.observe("teardown", time.Since(t0), false, nil)
 		return rejectResponse(id, "teardown", ReasonUnknownConn, "")
 	}
 	o := newOp(opTeardown, id, c.s, c.d, 0)
+	o.t0 = t0
 	e.shardOf(c.s, c.d).q <- o
 	return e.finishOp(o, <-o.done, "teardown", t0)
 }
@@ -473,10 +523,11 @@ func (e *Engine) Reroute(id int64) Response {
 
 	c, ok := e.lookupConn(id)
 	if !ok {
-		e.tel.observe("reroute", time.Since(t0), false)
+		e.tel.observe("reroute", time.Since(t0), false, nil)
 		return rejectResponse(id, "reroute", ReasonUnknownConn, "")
 	}
 	o := newOp(opReroute, id, c.s, c.d, e.cfg.Algorithm)
+	o.t0 = t0
 	e.shardOf(c.s, c.d).q <- o
 	return e.finishOp(o, <-o.done, "reroute", t0)
 }
@@ -502,8 +553,16 @@ func (e *Engine) Audit() error {
 
 // finishOp folds a commit verdict into counters, telemetry and the response.
 func (e *Engine) finishOp(o *op, cr commitResult, kind string, t0 time.Time) Response {
-	e.tel.observe(kind, time.Since(t0), cr.ok)
-	instr.requestTime.Stop(t0)
+	// Close the attribution ledger: the tail (shard's last stamp → now, i.e.
+	// the done-channel handoff back to this goroutine) folds into the commit
+	// stage, so queue+snap+route+commit+reroute equals tDone−t0 exactly.
+	tDone := time.Now()
+	if !o.last.IsZero() {
+		o.st.commit += tDone.Sub(o.last).Nanoseconds()
+	}
+	e.observeStages(o)
+	e.tel.observe(kind, tDone.Sub(t0), cr.ok, &o.st)
+	instr.requestTime.Observe(tDone.Sub(t0))
 	resp := Response{
 		ID:       o.id,
 		Op:       kind,
@@ -512,6 +571,7 @@ func (e *Engine) finishOp(o *op, cr commitResult, kind string, t0 time.Time) Res
 		Epoch:    cr.epoch,
 		Shard:    e.shardOf(o.s, o.d).idx,
 		Retries:  o.retries,
+		Req:      o.traceReq,
 	}
 	switch o.kind {
 	case opProvision:
@@ -544,6 +604,7 @@ func (e *Engine) finishOp(o *op, cr commitResult, kind string, t0 time.Time) Res
 func (sh *shard) run() {
 	defer sh.e.shardWg.Done()
 	for o := range sh.q {
+		sh.ops.Add(1)
 		switch o.kind {
 		case opProvision:
 			sh.provision(o)
@@ -561,12 +622,31 @@ func (sh *shard) run() {
 //wdm:hotpath
 func (sh *shard) provision(o *op) {
 	e := sh.e
+	// Stage stamps: t opens the current attempt (dequeue on attempt 1, the
+	// previous commit verdict on retries); attempt 1 splits into
+	// snap/route/commit segments, retries fold whole into the reroute stage.
+	t := time.Now()
+	o.st.queue = t.Sub(o.t0).Nanoseconds()
+	first := true
 	for {
 		snap := e.store.load()
-		rt := instr.routeTime.Start()
+		tSnap := time.Now()
 		res, ok := o.algo.route(sh.router, snap.net, o.s, o.d)
-		instr.routeTime.Stop(rt)
+		tRoute := time.Now()
+		instr.routeTime.Observe(tRoute.Sub(tSnap))
+		if first {
+			o.st.snap = tSnap.Sub(t).Nanoseconds()
+			o.st.route = tRoute.Sub(tSnap).Nanoseconds()
+			o.st.tier = sh.router.LastTier()
+			if id := sh.router.LastTraceID(); id > 0 {
+				o.traceReq = id
+			}
+		}
 		if !ok {
+			if !first {
+				o.st.reroute += tRoute.Sub(t).Nanoseconds()
+			}
+			o.last = tRoute
 			o.done <- commitResult{ok: false, reason: ReasonNoRoute, epoch: snap.epoch}
 			return
 		}
@@ -576,11 +656,24 @@ func (sh *shard) provision(o *op) {
 		o.snapEpoch = snap.epoch
 		e.commitCh <- o
 		cr := <-o.commit
-		if cr.conflict && o.retries < e.cfg.maxRetries() {
-			o.retries++
-			e.stats.retries.Add(1)
-			instr.retries.Inc()
-			continue
+		tCommit := time.Now()
+		if first {
+			o.st.commit = tCommit.Sub(tRoute).Nanoseconds()
+		} else {
+			o.st.reroute += tCommit.Sub(t).Nanoseconds()
+		}
+		o.last = tCommit
+		if cr.conflict {
+			sh.conflicts.Add(1)
+			if o.retries < e.cfg.maxRetries() {
+				o.retries++
+				e.stats.retries.Add(1)
+				sh.retries.Add(1)
+				instr.retries.Inc()
+				first = false
+				t = tCommit
+				continue
+			}
 		}
 		o.done <- cr
 		return
@@ -591,15 +684,24 @@ func (sh *shard) provision(o *op) {
 // connection are serialized through this shard) and commits the release.
 func (sh *shard) teardown(o *op) {
 	e := sh.e
+	t := time.Now()
+	o.st.queue = t.Sub(o.t0).Nanoseconds()
 	c, ok := e.lookupConn(o.id)
 	if !ok {
+		o.last = time.Now()
+		o.st.snap = o.last.Sub(t).Nanoseconds()
 		o.done <- commitResult{ok: false, reason: ReasonUnknownConn, epoch: e.store.load().epoch}
 		return
 	}
 	o.oldPrimary = append(o.oldPrimary[:0], c.primary...)
 	o.oldBackup = append(o.oldBackup[:0], c.backup...)
+	tPrep := time.Now()
+	o.st.snap = tPrep.Sub(t).Nanoseconds() // registry lookup + path copy
 	e.commitCh <- o
-	o.done <- <-o.commit
+	cr := <-o.commit
+	o.last = time.Now()
+	o.st.commit = o.last.Sub(tPrep).Nanoseconds()
+	o.done <- cr
 }
 
 // reroute routes a fresh pair on the latest snapshot (the connection's own
@@ -608,19 +710,43 @@ func (sh *shard) teardown(o *op) {
 //wdm:hotpath
 func (sh *shard) reroute(o *op) {
 	e := sh.e
+	t := time.Now()
+	o.st.queue = t.Sub(o.t0).Nanoseconds()
+	first := true
 	for {
 		c, ok := e.lookupConn(o.id)
 		if !ok {
+			now := time.Now()
+			if first {
+				o.st.snap = now.Sub(t).Nanoseconds()
+			} else {
+				o.st.reroute += now.Sub(t).Nanoseconds()
+			}
+			o.last = now
 			o.done <- commitResult{ok: false, reason: ReasonUnknownConn, epoch: e.store.load().epoch}
 			return
 		}
 		o.oldPrimary = append(o.oldPrimary[:0], c.primary...)
 		o.oldBackup = append(o.oldBackup[:0], c.backup...)
 		snap := e.store.load()
-		rt := instr.routeTime.Start()
+		tSnap := time.Now()
 		res, ok := o.algo.route(sh.router, snap.net, o.s, o.d)
-		instr.routeTime.Stop(rt)
+		tRoute := time.Now()
+		instr.routeTime.Observe(tRoute.Sub(tSnap))
+		if first {
+			// snap covers registry lookup + old-path copy + snapshot acquire.
+			o.st.snap = tSnap.Sub(t).Nanoseconds()
+			o.st.route = tRoute.Sub(tSnap).Nanoseconds()
+			o.st.tier = sh.router.LastTier()
+			if id := sh.router.LastTraceID(); id > 0 {
+				o.traceReq = id
+			}
+		}
 		if !ok {
+			if !first {
+				o.st.reroute += tRoute.Sub(t).Nanoseconds()
+			}
+			o.last = tRoute
 			o.done <- commitResult{ok: false, reason: ReasonNoRoute, epoch: snap.epoch}
 			return
 		}
@@ -630,11 +756,24 @@ func (sh *shard) reroute(o *op) {
 		o.snapEpoch = snap.epoch
 		e.commitCh <- o
 		cr := <-o.commit
-		if cr.conflict && o.retries < e.cfg.maxRetries() {
-			o.retries++
-			e.stats.retries.Add(1)
-			instr.retries.Inc()
-			continue
+		tCommit := time.Now()
+		if first {
+			o.st.commit = tCommit.Sub(tRoute).Nanoseconds()
+		} else {
+			o.st.reroute += tCommit.Sub(t).Nanoseconds()
+		}
+		o.last = tCommit
+		if cr.conflict {
+			sh.conflicts.Add(1)
+			if o.retries < e.cfg.maxRetries() {
+				o.retries++
+				e.stats.retries.Add(1)
+				sh.retries.Add(1)
+				instr.retries.Inc()
+				first = false
+				t = tCommit
+				continue
+			}
 		}
 		o.done <- cr
 		return
@@ -708,14 +847,12 @@ func (e *Engine) applyOne(o *op) commitResult {
 		p := &wdm.Semilightpath{Hops: o.primary}
 		b := &wdm.Semilightpath{Hops: o.backup}
 		if err := cur.Reserve(p); err != nil {
-			e.stats.conflicts.Add(1)
-			instr.conflicts.Inc()
+			e.conflictNoted(o)
 			return commitResult{conflict: true, reason: ReasonConflict}
 		}
 		if err := cur.Reserve(b); err != nil {
 			e.mustRelease(o.primary)
-			e.stats.conflicts.Add(1)
-			instr.conflicts.Inc()
+			e.conflictNoted(o)
 			return commitResult{conflict: true, reason: ReasonConflict}
 		}
 		e.putConn(&connState{
@@ -756,8 +893,7 @@ func (e *Engine) applyOne(o *op) commitResult {
 			// let the shard retry on the fresh snapshot.
 			e.mustReserve(o.oldPrimary)
 			e.mustReserve(o.oldBackup)
-			e.stats.conflicts.Add(1)
-			instr.conflicts.Inc()
+			e.conflictNoted(o)
 			return commitResult{conflict: true, reason: ReasonConflict}
 		}
 		e.connMu.Lock()
@@ -772,6 +908,16 @@ func (e *Engine) applyOne(o *op) commitResult {
 		return commitResult{ok: true, err: o.audit(cur)}
 	}
 	panic("serve: unknown op kind")
+}
+
+// conflictNoted folds one commit-time reservation conflict into every
+// attribution surface at once: the aggregate counters, the per-link
+// contention charge, and the per-window conflicts rate. Committer goroutine.
+func (e *Engine) conflictNoted(o *op) {
+	e.stats.conflicts.Add(1)
+	instr.conflicts.Inc()
+	e.noteContention(o)
+	e.tel.conflict()
 }
 
 // mustRelease returns held wavelengths to the pool; failure means the
@@ -940,6 +1086,8 @@ type Stats struct {
 	Retries      int64   `json:"retries"`
 	BlockingProb float64 `json:"blocking_probability"`
 	Uptime       float64 `json:"uptime_seconds"`
+	// ShardDetail attributes ops/conflicts/retries to individual shards.
+	ShardDetail []ShardStats `json:"shard_detail,omitempty"`
 }
 
 // Status reports the daemon's aggregate state from the latest snapshot; it
@@ -964,6 +1112,7 @@ func (e *Engine) Status() Stats {
 		Conflicts:    e.stats.conflicts.Load(),
 		Retries:      e.stats.retries.Load(),
 		Uptime:       time.Since(e.start).Seconds(),
+		ShardDetail:  e.shardDetail(),
 	}
 	if st.Provisions > 0 {
 		st.BlockingProb = float64(st.Blocked) / float64(st.Provisions)

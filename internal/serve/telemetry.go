@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,26 @@ const (
 	SeriesLinkLoadMax  = "link_load_max"
 	// SeriesFragMean gauges mean first-fit wavelength fragmentation.
 	SeriesFragMean = "frag_mean"
+	// SeriesConflicts counts commit-time reservation conflicts per window —
+	// the numerator of the SLO conflict-rate objective (denominator:
+	// provisions via SeriesBlocking's total).
+	SeriesConflicts = "conflicts"
+
+	// Per-window stage-latency histograms, mirroring the wdmd_stage_*
+	// timers (see stageNanos for segment boundaries): where inside the
+	// pipeline each window's latency went, not just how much there was.
+	SeriesStageQueue    = "stage_queue_seconds"
+	SeriesStageSnapshot = "stage_snapshot_seconds"
+	SeriesStageRoute    = "stage_route_seconds"
+	SeriesStageCommit   = "stage_commit_seconds"
+	SeriesStageReroute  = "stage_reroute_seconds"
+	SeriesStageDecode   = "stage_decode_seconds"
+
+	// Go runtime health, sampled once per window at seal time — the triage
+	// context an incident bundle needs next to the latency curves.
+	SeriesGoroutines = "go_goroutines"
+	SeriesHeapBytes  = "go_heap_bytes"
+	SeriesGCPause    = "go_gc_pause_seconds" // GC pause time accrued during the window
 )
 
 // telemetry adapts the single-owner timeseries.Collector to the daemon's
@@ -55,11 +76,24 @@ type telemetry struct {
 	tears    *timeseries.Rate
 	routes   *timeseries.Rate
 	epochs   *timeseries.Rate
+	confl    *timeseries.Rate
 	fill     *timeseries.Gauge
 	active   *timeseries.Gauge
 	loadMean *timeseries.Gauge
 	loadMax  *timeseries.Gauge
 	fragMean *timeseries.Gauge
+
+	stQueue  *timeseries.Histogram
+	stSnap   *timeseries.Histogram
+	stRoute  *timeseries.Histogram
+	stCommit *timeseries.Histogram
+	stRer    *timeseries.Histogram
+	stDecode *timeseries.Histogram
+
+	goroutines *timeseries.Gauge
+	heapBytes  *timeseries.Gauge
+	gcPause    *timeseries.Gauge
+	lastPause  uint64 // MemStats.PauseTotalNs at the previous seal
 
 	clock    *timeseries.WallClock
 	netState atomic.Pointer[timeseries.NetState]
@@ -88,26 +122,59 @@ func newTelemetry(e *Engine, window float64, retention int) *telemetry {
 		tears:    col.Rate(SeriesTeardowns),
 		routes:   col.Rate(SeriesReroutes),
 		epochs:   col.Rate(SeriesEpochs),
+		confl:    col.Rate(SeriesConflicts),
 		fill:     col.Gauge(SeriesBatchFill),
 		active:   col.Gauge(SeriesActiveConns),
 		loadMean: col.Gauge(SeriesLinkLoadMean),
 		loadMax:  col.Gauge(SeriesLinkLoadMax),
 		fragMean: col.Gauge(SeriesFragMean),
-		stop:     make(chan struct{}),
+
+		stQueue:  col.Histogram(SeriesStageQueue, nil),
+		stSnap:   col.Histogram(SeriesStageSnapshot, nil),
+		stRoute:  col.Histogram(SeriesStageRoute, nil),
+		stCommit: col.Histogram(SeriesStageCommit, nil),
+		stRer:    col.Histogram(SeriesStageReroute, nil),
+		stDecode: col.Histogram(SeriesStageDecode, nil),
+
+		goroutines: col.Gauge(SeriesGoroutines),
+		heapBytes:  col.Gauge(SeriesHeapBytes),
+		gcPause:    col.Gauge(SeriesGCPause),
+
+		stop: make(chan struct{}),
 	}
+	// Baseline the GC-pause accumulator so the first window reports pauses
+	// accrued during that window, not since process start.
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t.lastPause = ms0.PauseTotalNs
 	col.OnSeal(func(at float64) {
 		// OnSeal runs with the collector unlocked, on whichever goroutine
 		// sealed the window (ticker or a request under t.mu — both safe: the
-		// probe reads only the immutable epoch snapshot).
+		// probe reads only the immutable epoch snapshot). Seals are
+		// serialized under t.mu, so t.lastPause needs no atomics.
 		ns := timeseries.ProbeNetwork(e.store.load().net, at, e.LiveConnections())
+		ns.Contention = e.topContention(contentionTopK, ns)
 		t.loadMean.Set(ns.MeanLoad)
 		t.loadMax.Set(ns.MaxLoad)
 		t.fragMean.Set(ns.MeanFrag)
 		t.active.Set(float64(ns.ActiveConns))
 		t.netState.Store(ns)
+
+		// Runtime health: one ReadMemStats per window is cheap (µs-scale
+		// stop-the-world) and gives incident bundles their triage context.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		t.goroutines.Set(float64(runtime.NumGoroutine()))
+		t.heapBytes.Set(float64(ms.HeapAlloc))
+		t.gcPause.Set(float64(ms.PauseTotalNs-t.lastPause) / 1e9)
+		t.lastPause = ms.PauseTotalNs
 	})
 	return t
 }
+
+// contentionTopK bounds the per-link contention list published in
+// NetState.Contention.
+const contentionTopK = 8
 
 // SetSink attaches a streaming export sink plus its closer (e.g. a JSONL
 // writer over a file); call before Start.
@@ -165,8 +232,10 @@ func (t *telemetry) startTicker() {
 	}()
 }
 
-// observe records one finished request.
-func (t *telemetry) observe(kind string, lat time.Duration, ok bool) {
+// observe records one finished request, including its stage-attribution
+// ledger (nil for requests rejected before dispatch, e.g. unknown-connection
+// teardowns, which never enter the pipeline).
+func (t *telemetry) observe(kind string, lat time.Duration, ok bool, st *stageNanos) {
 	if t == nil {
 		return
 	}
@@ -174,6 +243,21 @@ func (t *telemetry) observe(kind string, lat time.Duration, ok bool) {
 	defer t.mu.Unlock()
 	t.col.Advance(t.clock.Now())
 	t.reqLat.Observe(lat.Seconds())
+	if st != nil {
+		t.stQueue.Observe(float64(st.queue) / 1e9)
+		if st.snap > 0 {
+			t.stSnap.Observe(float64(st.snap) / 1e9)
+		}
+		if st.route > 0 {
+			t.stRoute.Observe(float64(st.route) / 1e9)
+		}
+		if st.commit > 0 {
+			t.stCommit.Observe(float64(st.commit) / 1e9)
+		}
+		if st.reroute > 0 {
+			t.stRer.Observe(float64(st.reroute) / 1e9)
+		}
+	}
 	switch kind {
 	case "provision":
 		t.blocking.Observe(!ok)
@@ -185,6 +269,29 @@ func (t *telemetry) observe(kind string, lat time.Duration, ok bool) {
 	case "reroute":
 		t.routes.Inc()
 	}
+}
+
+// observeDecode records one HTTP request-body decode (handler goroutine,
+// before the request clock starts).
+func (t *telemetry) observeDecode(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.col.Advance(t.clock.Now())
+	t.stDecode.Observe(d.Seconds())
+}
+
+// conflict records one commit-time reservation conflict (committer
+// goroutine).
+func (t *telemetry) conflict() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.confl.Inc()
 }
 
 // epochSealed records one published epoch and its batch size (committer

@@ -43,6 +43,22 @@ type NetState struct {
 	// TotalAvail counts free (link, wavelength) pairs network-wide.
 	TotalAvail int         `json:"total_avail"`
 	Links      []LinkState `json:"links"`
+	// Contention, when the prober supplies it, is the top-K most contended
+	// links: the ones whose busy channels most often made an optimistic
+	// admission lose its commit-time race. Sorted by conflict count,
+	// descending; absent for probers that do not track commit conflicts
+	// (the batch simulator).
+	Contention []LinkContention `json:"contention,omitempty"`
+}
+
+// LinkContention is one entry of NetState.Contention: a link plus the
+// cumulative number of commit-time reservation conflicts it caused.
+type LinkContention struct {
+	Link      int     `json:"link"`
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Conflicts int64   `json:"conflicts"`
+	Load      float64 `json:"load"`
 }
 
 // Fragmentation returns the first-fit fragmentation of an availability set:

@@ -63,9 +63,10 @@ type Collector struct {
 	ratios []*ratioSeries
 	gauges []*gaugeSeries
 
-	onSeal  []func(t float64)
-	sink    Sink
-	sinkErr error
+	onSeal   []func(t float64)
+	onSealed []func(*Snapshot)
+	sink     Sink
+	sinkErr  error
 
 	curIdx      uint64
 	ring        []Snapshot
@@ -220,6 +221,21 @@ func (c *Collector) OnSeal(fn func(t float64)) {
 	c.mu.Unlock()
 }
 
+// OnSealed registers an observer that runs once per window, just after the
+// window has sealed, with the immutable sealed snapshot. Unlike OnSeal
+// probes (which feed values *into* the closing window), OnSealed observers
+// consume finished windows — the hook the SLO watchdog evaluates burn rates
+// through. Observers run unlocked on the sealing goroutine and may call any
+// collector method except Advance/Seal. Register before the run starts.
+func (c *Collector) OnSealed(fn func(*Snapshot)) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onSealed = append(c.onSealed, fn)
+	c.mu.Unlock()
+}
+
 // SetSink streams every subsequently sealed window to s. The first write
 // error is retained (SinkErr) and stops further writes, mirroring
 // trace.JSONL: a dead sink costs one failure, not one per window.
@@ -267,8 +283,12 @@ func (c *Collector) Advance(t float64) {
 			fn(sealEnd)
 		}
 		c.mu.Lock()
-		c.sealLocked()
+		snap := c.sealLocked()
+		observers := c.onSealed
 		c.mu.Unlock()
+		for _, fn := range observers {
+			fn(snap)
+		}
 	}
 }
 
@@ -295,15 +315,20 @@ func (c *Collector) Seal() {
 		fn(sealEnd)
 	}
 	c.mu.Lock()
-	c.sealLocked()
+	snap := c.sealLocked()
+	observers := c.onSealed
 	c.mu.Unlock()
+	for _, fn := range observers {
+		fn(snap)
+	}
 }
 
 // sealLocked snapshots the open window into the ring (and sink) and opens
-// the next one. Caller holds c.mu.
+// the next one, returning the sealed snapshot for the OnSealed observers.
+// Caller holds c.mu.
 //
 //wdm:coldpath window sealing runs once per telemetry window, amortized over the arrivals in it
-func (c *Collector) sealLocked() {
+func (c *Collector) sealLocked() *Snapshot {
 	snap := Snapshot{
 		Window: c.curIdx,
 		Start:  float64(c.curIdx) * c.cfg.Window,
@@ -343,6 +368,7 @@ func (c *Collector) sealLocked() {
 			c.sinkErr = fmt.Errorf("timeseries: sink: %w", err)
 		}
 	}
+	return &snap
 }
 
 // Len returns the number of sealed windows currently retained.
